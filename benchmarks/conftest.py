@@ -1,0 +1,67 @@
+"""Shared infrastructure for the figure/table reproduction benches.
+
+Every bench regenerates one of the paper's tables or figures: it runs
+the same experiment the paper ran (against the simulated substrate),
+prints the series/rows the figure plots, and asserts the paper's
+qualitative *shape* — who wins, by roughly what factor, where crossovers
+fall.  Absolute magnitudes are not asserted tightly: the substrate is a
+simulator, not the authors' testbed (see EXPERIMENTS.md).
+
+``run_cached`` memoises experiment runs per session so Fig. 9 and
+Fig. 10 (same runs, different metrics) don't pay twice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_series, format_table
+from repro.sim.experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+_CACHE: dict[ExperimentConfig, ExperimentResult] = {}
+
+
+def run_cached(config: ExperimentConfig) -> ExperimentResult:
+    """Run an experiment once per session (configs are frozen/hashable)."""
+    if config not in _CACHE:
+        _CACHE[config] = run_experiment(config)
+    return _CACHE[config]
+
+
+class Reporter:
+    """Collects paper-vs-measured lines and prints them as one block."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.lines: list[str] = []
+
+    def line(self, text: str) -> None:
+        self.lines.append(text)
+
+    def paper_vs_measured(self, what: str, paper: str, measured: str) -> None:
+        self.lines.append(f"{what}: paper {paper} | measured {measured}")
+
+    def table(self, headers, rows, title=None) -> None:
+        self.lines.append(format_table(headers, rows, title=title))
+
+    def series(self, name, values, fmt="{:.3f}") -> None:
+        self.lines.append(format_series(name, values, fmt=fmt))
+
+    def flush(self) -> None:
+        bar = "=" * 72
+        print(f"\n{bar}\n{self.title}\n{bar}")
+        for line in self.lines:
+            print(line)
+        print(bar)
+
+
+@pytest.fixture
+def reporter(request):
+    rep = Reporter(request.node.nodeid)
+    yield rep
+    rep.flush()
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

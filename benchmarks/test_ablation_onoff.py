@@ -1,0 +1,63 @@
+"""Ablation — the GreenGear-style on-off baseline (paper Section VI).
+
+The related-work discussion argues against on-off composite-node
+strategies: "when the power supply is sufficient, all-on strategy can be
+more effective ... GreenHetero is suitable for all cases".  This bench
+sweeps supply from starved to abundant and shows the crossover: on-off
+is competitive only at the starved end (where powering one group *is*
+the optimum), and falls far behind as the budget grows.
+"""
+
+from benchmarks.conftest import once
+from repro.core.policies import make_policy
+from repro.sim.clock import SimClock
+from repro.sim.engine import Simulation
+from repro.sim.experiment import ExperimentConfig
+
+FRACTIONS = (0.40, 0.55, 0.70, 0.85, 1.00)
+
+
+def run_sweep():
+    out = {}
+    for fraction in FRACTIONS:
+        cfg = ExperimentConfig(days=0.25, workload="Streamcluster")
+        perfs = {}
+        for name in ("OnOff", "GreenHetero"):
+            sim = Simulation.assemble(
+                policy=make_policy(name),
+                rack=cfg.build_rack(),
+                clock=cfg.build_clock(),
+                seed=cfg.seed,
+                supply_fractions=(fraction,),
+            )
+            perfs[name] = sim.run().mean_throughput()
+        out[fraction] = perfs
+    return out
+
+
+def test_ablation_onoff_baseline(benchmark, reporter):
+    results = once(benchmark, run_sweep)
+
+    rows = []
+    for fraction, perfs in results.items():
+        ratio = perfs["GreenHetero"] / perfs["OnOff"] if perfs["OnOff"] > 0 else float("inf")
+        rows.append([f"{fraction:.0%}", perfs["OnOff"], perfs["GreenHetero"], ratio])
+    reporter.table(
+        ["supply (of envelope)", "OnOff ips", "GreenHetero ips", "GH / OnOff"],
+        rows,
+        title="Ablation: GreenGear-style on-off vs GreenHetero (Streamcluster)",
+    )
+    reporter.paper_vs_measured(
+        "on-off strategy",
+        "all-on more effective when supply is sufficient",
+        f"GH/OnOff {results[0.40]['GreenHetero'] / results[0.40]['OnOff']:.2f}x starved"
+        f" -> {results[1.00]['GreenHetero'] / results[1.00]['OnOff']:.2f}x abundant",
+    )
+
+    # GreenHetero never loses, and the gap widens with supply.
+    ratios = [
+        results[f]["GreenHetero"] / results[f]["OnOff"] for f in FRACTIONS
+    ]
+    assert all(r >= 0.99 for r in ratios)
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] >= 1.2  # abundant supply: all-on clearly wins

@@ -1,0 +1,38 @@
+"""Fig. 1 — numbers of server configurations in ten Google datacenters.
+
+Motivation data from [22]: each datacenter runs 2-5 distinct
+microarchitectural configurations; 80% run two or three.  We regenerate
+the bar series and verify the distribution GreenHetero's design leans on
+(Section IV-B.3 bounds the solver at three types because of it).
+"""
+
+from collections import Counter
+
+from benchmarks.conftest import once
+from repro.servers.platform import GOOGLE_DC_CONFIG_COUNTS
+
+
+def test_fig01_config_counts(benchmark, reporter):
+    def series():
+        return GOOGLE_DC_CONFIG_COUNTS
+
+    counts = once(benchmark, series)
+    reporter.series("configurations per datacenter", counts, fmt="{:.0f}")
+
+    histogram = Counter(counts)
+    reporter.table(
+        ["configs", "datacenters"],
+        [[k, histogram[k]] for k in sorted(histogram)],
+        title="Fig. 1 histogram",
+    )
+    reporter.paper_vs_measured(
+        "range of configurations", "2 to 5", f"{min(counts)} to {max(counts)}"
+    )
+    two_or_three = sum(1 for c in counts if c in (2, 3)) / len(counts)
+    reporter.paper_vs_measured(
+        "share running 2-3 configs", "80%", f"{two_or_three:.0%}"
+    )
+
+    assert len(counts) == 10
+    assert min(counts) == 2 and max(counts) == 5
+    assert two_or_three == 0.8

@@ -1,0 +1,67 @@
+"""Fig. 12 — impact of the grid power budget when the batteries drain.
+
+Paper reference points:
+  * absolute performance falls as the grid budget is cut;
+  * GreenHetero sustains more performance than Uniform at every budget,
+    so it lets the operator under-provision the grid infrastructure:
+    GreenHetero at a smaller budget matches Uniform at a larger one;
+  * the advantage narrows once the budget approaches the rack demand
+    (abundant supply needs no clever allocation).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once, run_cached
+from repro.sim.experiment import ExperimentConfig
+
+BUDGETS = (600.0, 800.0, 1000.0, 1200.0, 1400.0)
+
+
+def run_budget_sweep():
+    out = {}
+    for budget in BUDGETS:
+        cfg = ExperimentConfig(
+            grid_budget_w=budget, policies=("Uniform", "GreenHetero")
+        )
+        out[budget] = run_cached(cfg)
+    return out
+
+
+def test_fig12_grid_budget(benchmark, reporter):
+    results = once(benchmark, run_budget_sweep)
+
+    rows = []
+    gh_abs = {}
+    uniform_abs = {}
+    gains = {}
+    for budget, res in results.items():
+        gh_abs[budget] = res.log("GreenHetero").mean_throughput()
+        uniform_abs[budget] = res.log("Uniform").mean_throughput()
+        gains[budget] = res.gain("GreenHetero")
+        rows.append([f"{budget:.0f} W", uniform_abs[budget], gh_abs[budget], gains[budget]])
+    reporter.table(
+        ["grid budget", "Uniform jops", "GreenHetero jops", "gain (B/C epochs)"],
+        rows,
+        title="Fig. 12: SPECjbb vs grid power budget",
+    )
+
+    # Under-provisioning headline: GreenHetero at a smaller budget vs
+    # Uniform at a larger one.
+    reporter.paper_vs_measured(
+        "under-provisioning",
+        "GreenHetero sustains Uniform's performance at a lower budget",
+        f"GH@800W={gh_abs[800.0]:.0f} vs Uniform@1200W={uniform_abs[1200.0]:.0f}",
+    )
+
+    budgets = sorted(results)
+    # Performance is monotone (within noise) in the budget for both.
+    for lo, hi in zip(budgets, budgets[1:]):
+        assert gh_abs[hi] >= gh_abs[lo] * 0.97
+        assert uniform_abs[hi] >= uniform_abs[lo] * 0.97
+    # GreenHetero >= Uniform at every budget.
+    for budget in budgets:
+        assert gains[budget] >= 0.99
+    # The advantage shrinks once the budget is abundant.
+    assert gains[1400.0] <= max(gains.values())
+    # Under-provisioning: GH at 800 W at least matches Uniform at 1200 W.
+    assert gh_abs[800.0] >= 0.9 * uniform_abs[1200.0]

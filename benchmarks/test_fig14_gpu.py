@@ -1,0 +1,68 @@
+"""Fig. 14 — the GPU combination (Comb6: E5-2620 + Titan Xp).
+
+Rodinia workloads with both CPU and GPU ports, under the constrained-
+supply sweep of the GPU rack's own (much larger) envelope.
+
+Paper reference points:
+  * GreenHetero performs best across all four workloads;
+  * Srad_v1 shows the largest improvement (up to 4.6x; average 2.5x
+    across the workloads) because the GPU dominates it so thoroughly
+    that uniform watts sent to CPUs are nearly worthless;
+  * Cfd runs about equally fast on CPU and GPU, so its gain is smallest.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import once, run_cached
+from repro.analysis.metrics import geometric_mean
+from repro.sim.experiment import ExperimentConfig
+
+GPU_WORKLOADS = ("Streamcluster", "Srad_v1", "Particlefilter", "Cfd")
+POLICIES = ("Uniform", "Manual", "GreenHetero-p", "GreenHetero-a", "GreenHetero")
+
+
+def run_gpu_sweeps():
+    return {
+        wl: run_cached(
+            ExperimentConfig.combination_sweep("Comb6", wl, policies=POLICIES)
+        )
+        for wl in GPU_WORKLOADS
+    }
+
+
+def test_fig14_gpu_combination(benchmark, reporter):
+    results = once(benchmark, run_gpu_sweeps)
+
+    rows = []
+    gh_gains = {}
+    max_epoch_gains = {}
+    for wl, res in results.items():
+        table = res.gains_table("throughput")
+        gh_gains[wl] = table["GreenHetero"]
+        u = res.log("Uniform").throughputs
+        g = res.log("GreenHetero").throughputs
+        valid = u > 0
+        max_epoch_gains[wl] = float((g[valid] / u[valid]).max()) if valid.any() else float("inf")
+        rows.append([wl] + [table[p] for p in POLICIES] + [max_epoch_gains[wl]])
+    reporter.table(
+        ["workload"] + list(POLICIES) + ["max epoch gain"],
+        rows,
+        title="Fig. 14: Comb6 (5x E5-2620 + 5x Titan Xp) gains vs Uniform",
+    )
+    avg = geometric_mean(list(gh_gains.values()))
+    reporter.paper_vs_measured("Srad_v1 gain", "up to 4.6x",
+                               f"avg {gh_gains['Srad_v1']:.2f}x, max epoch {max_epoch_gains['Srad_v1']:.1f}x")
+    reporter.paper_vs_measured("average gain", "~2.5x", f"{avg:.2f}x")
+    reporter.paper_vs_measured("smallest gain", "Cfd", min(gh_gains, key=gh_gains.get))
+
+    # Shape assertions.
+    assert max(gh_gains, key=gh_gains.get) == "Srad_v1"
+    assert min(gh_gains, key=gh_gains.get) == "Cfd"
+    assert gh_gains["Srad_v1"] >= 2.0
+    assert max_epoch_gains["Srad_v1"] >= 3.5  # "up to" headline
+    assert gh_gains["Cfd"] <= 1.6
+    assert 1.6 <= avg <= 3.2
+    # GreenHetero best (or tied) for every workload.
+    for wl, res in results.items():
+        table = res.gains_table("throughput")
+        assert table["GreenHetero"] >= max(table.values()) - 0.1, wl

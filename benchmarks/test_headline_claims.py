@@ -1,0 +1,67 @@
+"""The abstract's headline claims, reproduced in one place.
+
+    "the evaluation shows that our solution can improve the average
+     performance by 1.2x-2.2x and the renewable power utilization by up
+     to 2.7x under tens of representative datacenter workloads compared
+     with the heterogeneity-unaware baseline scheduler" ...
+    "The performance gain can reach as much as 4.6x for some server
+     configurations."
+
+Reuses the cached Fig. 9/10/14 runs, so this bench is nearly free when
+run with the rest of the suite.
+"""
+
+from benchmarks.conftest import once, run_cached
+from repro.analysis.metrics import summarize_gains
+from repro.sim.experiment import ExperimentConfig
+from repro.workloads.catalog import FIG9_WORKLOADS
+
+POLICIES = ("Uniform", "Manual", "GreenHetero-p", "GreenHetero-a", "GreenHetero")
+
+
+def collect():
+    perf, epu = {}, {}
+    for workload in FIG9_WORKLOADS:
+        res = run_cached(
+            ExperimentConfig.insufficient_supply(workload, policies=POLICIES)
+        )
+        perf[workload] = res.gain("GreenHetero")
+        epu[workload] = res.gain("GreenHetero", "epu")
+    gpu = run_cached(
+        ExperimentConfig.combination_sweep(
+            "Comb6", "Srad_v1", policies=("Uniform", "GreenHetero")
+        )
+    )
+    u = gpu.log("Uniform").throughputs
+    g = gpu.log("GreenHetero").throughputs
+    max_config_gain = float((g[u > 0] / u[u > 0]).max())
+    return perf, epu, max_config_gain
+
+
+def test_headline_claims(benchmark, reporter):
+    perf, epu, max_config_gain = once(benchmark, collect)
+
+    perf_summary = summarize_gains(perf)
+    epu_summary = summarize_gains(epu)
+    reporter.paper_vs_measured(
+        "average performance improvement",
+        "1.2x-2.2x",
+        f"{perf_summary['min']:.2f}x-{perf_summary['max']:.2f}x "
+        f"(mean {perf_summary['mean']:.2f}x) over {len(perf)} workloads",
+    )
+    reporter.paper_vs_measured(
+        "renewable power utilization (EPU)",
+        "up to 2.7x",
+        f"up to {epu_summary['max']:.2f}x ({epu_summary['best_workload']})",
+    )
+    reporter.paper_vs_measured(
+        "per-configuration performance gain",
+        "as much as 4.6x (GPU rack)",
+        f"up to {max_config_gain:.1f}x (Comb6, Srad_v1)",
+    )
+
+    # The abstract's band, with our calibrated tolerances.
+    assert 1.0 <= perf_summary["min"] <= 1.35
+    assert 1.9 <= perf_summary["max"] <= 2.7
+    assert epu_summary["max"] >= 1.9
+    assert max_config_gain >= 4.0

@@ -1,0 +1,90 @@
+"""Tables I-IV — the paper's configuration tables, regenerated.
+
+These benches print each table from the library's registries and assert
+the encoded values match the paper rows exactly.
+"""
+
+import pytest
+
+from benchmarks.conftest import once
+from repro.core.policies import POLICY_NAMES, all_policies
+from repro.servers.platform import PLATFORMS, get_platform
+from repro.sim.experiment import COMBINATIONS
+from repro.workloads.catalog import WORKLOADS, get_workload
+
+
+def test_table1_workloads(benchmark, reporter):
+    def build():
+        return [
+            [w.name, w.suite, w.metric, w.slo.describe() if w.slo else "-"]
+            for w in WORKLOADS.values()
+        ]
+
+    rows = once(benchmark, build)
+    reporter.table(["workload", "suite", "metric", "SLO"], rows, title="Table I")
+
+    assert len(rows) == 15
+    assert get_workload("SPECjbb").slo.describe() == "99%-ile 500ms"
+    assert get_workload("Memcached").slo.describe() == "95%-ile 10ms"
+    suites = {w.suite for w in WORKLOADS.values()}
+    assert suites == {"SPEC", "Cloudsuite", "PARSEC", "SPECCPU", "Rodinia"}
+
+
+def test_table2_servers(benchmark, reporter):
+    def build():
+        return [
+            [
+                s.name,
+                f"{s.base_frequency_hz / 1e9:.3f} GHz",
+                s.sockets,
+                s.cores,
+                f"{s.peak_power_w:.0f} W",
+                f"{s.idle_power_w:.0f} W",
+            ]
+            for s in PLATFORMS.values()
+        ]
+
+    rows = once(benchmark, build)
+    reporter.table(
+        ["server", "frequency", "sockets", "cores", "peak", "idle"],
+        rows,
+        title="Table II",
+    )
+
+    assert get_platform("E5-2620").peak_power_w == 178.0
+    assert get_platform("TitanXp").cores == 3840
+    assert get_platform("i7-8700K").idle_power_w == 39.0
+
+
+def test_table3_policies(benchmark, reporter):
+    policies = once(benchmark, all_policies)
+    reporter.table(
+        ["policy", "uses DB", "updates DB", "needs oracle"],
+        [
+            [p.name, p.uses_database, p.updates_database, p.requires_oracle]
+            for p in policies
+        ],
+        title="Table III",
+    )
+
+    assert tuple(p.name for p in policies) == POLICY_NAMES
+    by_name = {p.name: p for p in policies}
+    assert not by_name["Uniform"].uses_database
+    assert by_name["Manual"].requires_oracle
+    assert by_name["GreenHetero"].updates_database
+    assert not by_name["GreenHetero-a"].updates_database
+
+
+def test_table4_combinations(benchmark, reporter):
+    def build():
+        return [
+            [name, ", ".join(f"{count}x {p}" for p, count in combo)]
+            for name, combo in COMBINATIONS.items()
+        ]
+
+    rows = once(benchmark, build)
+    reporter.table(["combination", "servers"], rows, title="Table IV")
+
+    assert COMBINATIONS["Comb1"] == (("E5-2620", 5), ("i5-4460", 5))
+    assert COMBINATIONS["Comb5"] == (("E5-2620", 5), ("E5-2603", 5), ("i5-4460", 5))
+    assert COMBINATIONS["Comb6"][1][0] == "TitanXp"

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Riding through failures: inverter trips, battery lockout, brownout.
+
+Injects three faults into one simulated day of the standard rack and
+shows how the GreenHetero controller's source selection reroutes around
+each: the battery carries a noon inverter trip, the grid carries a night
+battery lockout, and an afternoon grid brownout narrows the budget the
+solver distributes.
+
+Run:
+    python examples/fault_tolerance.py
+"""
+
+from repro.core.policies import make_policy
+from repro.servers.rack import Rack
+from repro.sim.clock import SimClock
+from repro.sim.engine import Simulation
+from repro.sim.faults import FaultInjector
+from repro.units import SECONDS_PER_DAY
+
+DAY = SECONDS_PER_DAY
+HOUR = 3600.0
+
+
+def main() -> None:
+    faults = (
+        FaultInjector()
+        .add_battery_outage(DAY + 2 * HOUR, DAY + 4 * HOUR)
+        .add_renewable_dropout(DAY + 12 * HOUR, DAY + 13 * HOUR, factor=0.0)
+        .add_grid_outage(DAY + 20 * HOUR, DAY + 22 * HOUR, factor=0.4)
+    )
+    sim = Simulation.assemble(
+        policy=make_policy("GreenHetero"),
+        rack=Rack([("E5-2620", 5), ("i5-4460", 5)], "SPECjbb"),
+        clock=SimClock(start_s=DAY, duration_s=DAY),
+        seed=19,
+    )
+    sim.faults = faults
+    log = sim.run()
+
+    events = {2: "battery lockout", 12: "inverter trip", 20: "grid brownout"}
+    print("hour | case | solar W | batt W | grid W | jops     | note")
+    print("-" * 75)
+    for i in range(0, len(log), 4):
+        r = log[i]
+        hour = int((r.time_s - DAY) / HOUR)
+        note = ""
+        for start, label in events.items():
+            if start <= hour < start + 2:
+                note = f"<- {label}"
+        print(
+            f"{hour:4d} |  {r.case.value}   | {r.renewable_w:7.0f} |"
+            f" {r.battery_to_load_w:6.0f} | {r.grid_to_load_w:6.0f} |"
+            f" {r.throughput:8.0f} | {note}"
+        )
+    print("-" * 75)
+    zero_epochs = int((log.throughputs <= 0).sum())
+    print(
+        f"{zero_epochs} epochs with zero throughput out of {len(log)} — the "
+        "controller rides every fault on the remaining sources."
+    )
+
+
+if __name__ == "__main__":
+    main()

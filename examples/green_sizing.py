@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Sizing a green rack: how much solar, battery, and grid do I need?
+
+Uses the capacity-planning searches (`repro.planning`) to answer the
+operator questions the paper's economics motivate: reach 70% renewable
+energy for the standard SPECjbb rack with the smallest PV array and
+battery bank, and find the smallest grid feed that still sustains 90%
+of unconstrained performance (Fig. 12, automated).
+
+Run:
+    python examples/green_sizing.py
+"""
+
+from repro.planning import size_battery, size_grid, size_solar
+from repro.sim.experiment import ExperimentConfig
+
+
+def main() -> None:
+    config = ExperimentConfig(days=1.0, policies=("GreenHetero",), seed=5)
+    rack = config.build_rack()
+    print(f"sizing for: {rack.describe()}\n")
+
+    solar = size_solar(config, target_renewable_fraction=0.70, tolerance=0.1)
+    print(
+        f"solar : clear-sky peak {solar.value:.2f}x max draw "
+        f"(~{solar.value * rack.max_draw_w:,.0f} W installed) -> "
+        f"{solar.achieved:.0%} renewable "
+        f"[{solar.evaluations} simulated days]"
+    )
+
+    battery = size_battery(
+        config, target_renewable_fraction=0.70, solar_scale=max(solar.value, 1.0)
+    )
+    print(
+        f"battery: {battery.value:.0f} x 12V/100Ah units "
+        f"({battery.value * 1.2:.1f} kWh) -> {battery.achieved:.0%} renewable "
+        f"[{battery.evaluations} simulated days]"
+    )
+
+    grid = size_grid(config, target_performance_fraction=0.90, tolerance=50.0)
+    print(
+        f"grid  : {grid.value:,.0f} W budget sustains {grid.achieved:.0%} of "
+        f"unconstrained performance "
+        f"(rack max draw {rack.max_draw_w:,.0f} W) "
+        f"[{grid.evaluations} simulated days]"
+    )
+
+    print(
+        "\nGreenHetero's heterogeneity-aware allocation is what lets the "
+        "grid feed sit this far below the rack's maximum draw — the "
+        "paper's under-provisioning argument, priced out."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Metric aggregation helpers shared by the benches and examples."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.database import PerfPowerFit
+from repro.errors import ConfigurationError
+from repro.servers.power_model import ResponseCurve
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean — the right average for speedup ratios.
+
+    Raises
+    ------
+    ConfigurationError
+        On empty input or non-positive entries.
+    """
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("geometric mean of empty sequence")
+    if np.any(data <= 0):
+        raise ConfigurationError("geometric mean requires positive values")
+    return float(np.exp(np.log(data).mean()))
+
+
+def normalize_to_baseline(
+    values: Mapping[str, float], baseline: str
+) -> dict[str, float]:
+    """Divide every entry by the baseline's value (the paper's bar charts).
+
+    Raises
+    ------
+    ConfigurationError
+        When the baseline is missing or zero.
+    """
+    if baseline not in values:
+        raise ConfigurationError(f"baseline {baseline!r} not in values")
+    base = values[baseline]
+    if base == 0:
+        raise ConfigurationError("baseline value is zero")
+    return {name: v / base for name, v in values.items()}
+
+
+def projection_error(
+    fit: PerfPowerFit, curve: ResponseCurve, n_points: int = 50
+) -> float:
+    """Mean relative error of a database projection vs ground truth.
+
+    Evaluated over the *enforceable* operating range (the power levels
+    the SPC can actually set), normalised by the curve's maximum
+    throughput — the quantity GreenHetero's online updating is supposed
+    to drive down over time (Algorithm 1).
+    """
+    if n_points < 2:
+        raise ConfigurationError("need at least 2 evaluation points")
+    budgets = np.linspace(
+        curve.min_active_power_w, curve.max_draw_w, n_points
+    )
+    scale = curve.max_throughput
+    errors = [
+        abs(fit.predict(float(b)) - curve.perf_at_power(float(b)).throughput) / scale
+        for b in budgets
+    ]
+    return float(np.mean(errors))
+
+
+def summarize_gains(per_workload_gains: Mapping[str, float]) -> dict[str, float]:
+    """Min / mean (geometric) / max over a per-workload gain map."""
+    if not per_workload_gains:
+        raise ConfigurationError("no gains to summarise")
+    gains = list(per_workload_gains.values())
+    best = max(per_workload_gains, key=per_workload_gains.__getitem__)
+    worst = min(per_workload_gains, key=per_workload_gains.__getitem__)
+    return {
+        "min": min(gains),
+        "mean": geometric_mean(gains),
+        "max": max(gains),
+        "best_workload": best,  # type: ignore[dict-item]
+        "worst_workload": worst,  # type: ignore[dict-item]
+    }

@@ -1,0 +1,120 @@
+"""Markdown experiment reports.
+
+Turns an :class:`~repro.sim.experiment.ExperimentResult` into a
+self-contained markdown document — configuration, per-policy comparison,
+energy/sustainability rollup, and a sparkline timeline — suitable for
+dropping into a lab notebook, a PR description, or CI artifacts.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.plotting import sparkline
+from repro.analysis.sustainability import sustainability_report
+from repro.errors import ConfigurationError
+from repro.sim.experiment import ExperimentResult
+
+
+def experiment_report(
+    result: ExperimentResult,
+    title: str = "GreenHetero experiment report",
+    baseline: str | None = None,
+) -> str:
+    """Render ``result`` as a markdown document.
+
+    Parameters
+    ----------
+    result:
+        A completed experiment (at least one policy log).
+    title:
+        The document's H1.
+    baseline:
+        Gain denominator; defaults to Uniform when present, else the
+        first policy.
+    """
+    if not result.logs:
+        raise ConfigurationError("cannot report an empty experiment")
+    config = result.config
+    policies = [p for p in config.policies if p in result.logs]
+    if baseline is None:
+        baseline = "Uniform" if "Uniform" in result.logs else policies[0]
+    if baseline not in result.logs:
+        raise ConfigurationError(f"baseline {baseline!r} was not run")
+
+    lines: list[str] = [f"# {title}", ""]
+
+    # Configuration block.
+    platforms = ", ".join(f"{c}x {p}" for p, c in config.platforms)
+    lines += [
+        "## Configuration",
+        "",
+        f"* rack: {platforms}",
+        f"* workload: {config.workload}",
+        f"* duration: {config.days:g} day(s), epoch {config.epoch_s / 60:.0f} min",
+        f"* seed: {config.seed}",
+    ]
+    if config.supply_fractions is not None:
+        fractions = ", ".join(f"{f:.0%}" for f in config.supply_fractions)
+        lines.append(f"* constrained supply sweep: {fractions}")
+    else:
+        lines += [
+            f"* weather: {config.weather.value} trace",
+            f"* grid budget: {config.grid_budget_w or 'auto'} W",
+        ]
+    lines.append("")
+
+    # Policy comparison.
+    lines += [
+        "## Policies",
+        "",
+        f"| policy | mean perf | gain vs {baseline} | EPU gain | mean PAR | grid kWh |",
+        "|---|---|---|---|---|---|",
+    ]
+    for name in policies:
+        summary = result.summary(name)
+        lines.append(
+            f"| {name} | {summary.mean_throughput:,.0f} "
+            f"| {result.gain(name, baseline=baseline):.2f}x "
+            f"| {result.gain(name, 'epu', baseline=baseline):.2f}x "
+            f"| {summary.mean_par:.0%} "
+            f"| {summary.grid_energy_wh / 1000:.2f} |"
+        )
+    lines.append("")
+
+    # Sustainability rollup.
+    lines += ["## Energy and carbon", "", "| policy | renewable | CO2 (kg) | grid cost |", "|---|---|---|---|"]
+    for name in policies:
+        rollup = sustainability_report(result.log(name), config.epoch_s)
+        lines.append(
+            f"| {name} | {rollup.renewable_fraction:.0%} "
+            f"| {rollup.co2_kg:.2f} | ${rollup.grid_cost_usd:.2f} |"
+        )
+    lines.append("")
+
+    # Timeline sketch of the most interesting policy.
+    focus = "GreenHetero" if "GreenHetero" in result.logs else policies[-1]
+    log = result.log(focus)
+    stride = max(1, len(log) // 48)
+    lines += [
+        f"## Timeline ({focus})",
+        "",
+        "```",
+        f"throughput {sparkline(log.throughputs[::stride])}",
+        f"epu        {sparkline(log.epus[::stride], lo=0.0, hi=1.0)}",
+        f"renewable  {sparkline(log.series('renewable_w')[::stride])}",
+        f"battery    {sparkline(log.battery_soc_wh[::stride])}",
+        "```",
+        "",
+        f"{len(log)} epochs; insufficient-supply epochs: "
+        f"{int(result.insufficient_mask().sum())}.",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def save_experiment_report(
+    result: ExperimentResult, path: str | Path, **kwargs
+) -> None:
+    """Write :func:`experiment_report` to ``path``."""
+    Path(path).write_text(experiment_report(result, **kwargs))

@@ -1,0 +1,117 @@
+"""Carbon and cost accounting for a run.
+
+The paper motivates green datacenters with electricity cost ("costing
+U.S. businesses $13 billion annually") and carbon ("IT companies the
+biggest greenhouse gas emitters").  This module rolls a policy run's
+telemetry up into exactly those terms: grid energy and its CO2
+footprint, the renewable fraction of delivered power, curtailed (wasted)
+renewable energy, and the dollar cost under a peak-demand tariff.
+
+Defaults use the U.S. grid-average carbon intensity; both intensity and
+tariff are parameters, so regional studies are one argument away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.power.grid import DEFAULT_ENERGY_PRICE_PER_KWH, DEFAULT_PEAK_PRICE_PER_KW
+from repro.sim.telemetry import TelemetryLog
+
+#: U.S. grid-average carbon intensity, kg CO2 per kWh (EPA eGRID-scale).
+DEFAULT_GRID_CO2_KG_PER_KWH = 0.39
+
+#: Lifecycle carbon intensity of PV generation, kg CO2 per kWh.
+DEFAULT_SOLAR_CO2_KG_PER_KWH = 0.041
+
+
+@dataclass(frozen=True)
+class SustainabilityReport:
+    """Energy, carbon, and cost rollup for one policy run.
+
+    All energies in kWh, carbon in kg CO2, money in USD.
+    """
+
+    renewable_kwh: float
+    battery_kwh: float
+    grid_kwh: float
+    curtailed_kwh: float
+    peak_grid_w: float
+    co2_kg: float
+    grid_cost_usd: float
+
+    @property
+    def delivered_kwh(self) -> float:
+        """Total energy delivered to the rack."""
+        return self.renewable_kwh + self.battery_kwh + self.grid_kwh
+
+    @property
+    def renewable_fraction(self) -> float:
+        """Green (renewable + battery) share of delivered energy."""
+        total = self.delivered_kwh
+        if total == 0.0:
+            return 0.0
+        return (self.renewable_kwh + self.battery_kwh) / total
+
+    @property
+    def curtailment_fraction(self) -> float:
+        """Renewable energy wasted, relative to renewable delivered + wasted."""
+        produced = self.renewable_kwh + self.curtailed_kwh
+        if produced == 0.0:
+            return 0.0
+        return self.curtailed_kwh / produced
+
+
+def sustainability_report(
+    log: TelemetryLog,
+    epoch_s: float,
+    grid_co2_kg_per_kwh: float = DEFAULT_GRID_CO2_KG_PER_KWH,
+    solar_co2_kg_per_kwh: float = DEFAULT_SOLAR_CO2_KG_PER_KWH,
+    peak_price_per_kw: float = DEFAULT_PEAK_PRICE_PER_KW,
+    energy_price_per_kwh: float = DEFAULT_ENERGY_PRICE_PER_KWH,
+) -> SustainabilityReport:
+    """Compute the rollup for one run's telemetry.
+
+    Parameters
+    ----------
+    log:
+        The policy run's telemetry.
+    epoch_s:
+        Epoch length the records were taken at.
+    grid_co2_kg_per_kwh / solar_co2_kg_per_kwh:
+        Carbon intensities; battery energy is attributed to its solar
+        origin (plus charging losses already reflected in the flows).
+    peak_price_per_kw / energy_price_per_kwh:
+        Grid tariff for the cost line.
+    """
+    if epoch_s <= 0:
+        raise ConfigurationError("epoch length must be positive")
+    if min(grid_co2_kg_per_kwh, solar_co2_kg_per_kwh) < 0:
+        raise ConfigurationError("carbon intensities must be non-negative")
+
+    hours = epoch_s / 3600.0
+    renewable_kwh = float(log.series("renewable_to_load_w").sum()) * hours / 1000.0
+    battery_kwh = float(log.series("battery_to_load_w").sum()) * hours / 1000.0
+    curtailed_kwh = float(log.series("curtailed_w").sum()) * hours / 1000.0
+    grid_load = log.series("grid_to_load_w")
+    grid_charge = [
+        r.charge_w if r.charge_source.value == "grid" else 0.0 for r in log
+    ]
+    grid_kwh = (float(grid_load.sum()) + float(sum(grid_charge))) * hours / 1000.0
+    peak_grid_w = float((grid_load + grid_charge).max()) if len(log) else 0.0
+
+    co2 = (
+        grid_kwh * grid_co2_kg_per_kwh
+        + (renewable_kwh + battery_kwh) * solar_co2_kg_per_kwh
+    )
+    cost = peak_grid_w / 1000.0 * peak_price_per_kw + grid_kwh * energy_price_per_kwh
+    return SustainabilityReport(
+        renewable_kwh=renewable_kwh,
+        battery_kwh=battery_kwh,
+        grid_kwh=grid_kwh,
+        curtailed_kwh=curtailed_kwh,
+        peak_grid_w=peak_grid_w,
+        co2_kg=co2,
+        grid_cost_usd=cost,
+    )

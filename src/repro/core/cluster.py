@@ -1,0 +1,130 @@
+"""Cluster-level coordination across racks (the paper's future work).
+
+GreenHetero deploys one controller per rack, and the paper notes the
+cost: "the renewable power and energy storage systems for each rack ...
+are independent and cannot share their capacities" (Section IV-A), with
+cross-rack coordination left as future work.  This module implements the
+natural next step: a :class:`ClusterCoordinator` that owns a *shared*
+grid budget and re-divides it across rack controllers every epoch.
+
+Two division strategies are provided:
+
+``GridSplit.EQUAL``
+    Every rack gets the same share — the cluster-level analogue of the
+    Uniform policy, blind to how starved each rack is.
+
+``GridSplit.SHORTFALL``
+    Each rack's share is proportional to its predicted *green shortfall*
+    (demand minus renewable minus battery capability, floored at zero) —
+    heterogeneity-awareness one level up: racks whose green supply
+    covers them cede grid budget to racks in the dark.
+
+The ablation bench quantifies the gap between the two, mirroring the
+paper's rack-level result at cluster scale.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.controller import EpochRecord, GreenHeteroController
+from repro.errors import ConfigurationError, PowerError
+
+
+class GridSplit(enum.Enum):
+    """How the shared grid budget is divided across racks."""
+
+    EQUAL = "equal"
+    SHORTFALL = "shortfall"
+
+
+class ClusterCoordinator:
+    """Drives several rack controllers against one shared grid budget.
+
+    Parameters
+    ----------
+    controllers:
+        One :class:`GreenHeteroController` per rack.  Each keeps its own
+        solar feed and battery (the distributed design of Fig. 2); only
+        the grid is shared.
+    shared_grid_budget_w:
+        Total grid power available to the cluster at any instant.
+    split:
+        Division strategy applied at the start of every epoch.
+    """
+
+    def __init__(
+        self,
+        controllers: list[GreenHeteroController],
+        shared_grid_budget_w: float,
+        split: GridSplit = GridSplit.SHORTFALL,
+    ) -> None:
+        if not controllers:
+            raise ConfigurationError("a cluster needs at least one rack controller")
+        if shared_grid_budget_w < 0:
+            raise PowerError("shared grid budget must be non-negative")
+        self.controllers = list(controllers)
+        self.shared_grid_budget_w = shared_grid_budget_w
+        self.split = split
+
+    # ------------------------------------------------------------------
+    def _predicted_shortfall_w(self, controller: GreenHeteroController, time_s: float) -> float:
+        """Green shortfall forecast for one rack (>= 0 W).
+
+        Uses the rack's own Holt forecasts when primed, falling back to
+        current metered values on the very first epoch.
+        """
+        scheduler = controller.scheduler
+        if scheduler.renewable_predictor.ready and scheduler.demand_predictor.ready:
+            renewable, demand = scheduler.forecast()
+        else:
+            renewable = controller.pdu.renewable.power_at(time_s)
+            demand = controller.rack.demand_at_load(1.0)
+        battery_power = controller.pdu.battery.max_discharge_power_w(controller.epoch_s)
+        return max(0.0, demand - renewable - battery_power)
+
+    def grid_shares_w(self, time_s: float) -> list[float]:
+        """This epoch's per-rack grid budgets under the active strategy."""
+        n = len(self.controllers)
+        if self.split is GridSplit.EQUAL:
+            return [self.shared_grid_budget_w / n] * n
+        shortfalls = [
+            self._predicted_shortfall_w(c, time_s) for c in self.controllers
+        ]
+        total = sum(shortfalls)
+        if total <= 0.0:
+            return [self.shared_grid_budget_w / n] * n
+        return [self.shared_grid_budget_w * s / total for s in shortfalls]
+
+    # ------------------------------------------------------------------
+    def run_epoch(
+        self, time_s: float, load_fractions: list[float] | None = None
+    ) -> list[EpochRecord]:
+        """Divide the grid, then run every rack's epoch.
+
+        Parameters
+        ----------
+        time_s:
+            Epoch start time (shared across racks).
+        load_fractions:
+            Per-rack offered load; defaults to full load everywhere.
+        """
+        if load_fractions is None:
+            load_fractions = [1.0] * len(self.controllers)
+        if len(load_fractions) != len(self.controllers):
+            raise ConfigurationError(
+                "need one load fraction per rack controller"
+            )
+        shares = self.grid_shares_w(time_s)
+        records: list[EpochRecord] = []
+        for controller, share, load in zip(self.controllers, shares, load_fractions):
+            controller.pdu.grid.budget_w = share
+            records.append(controller.run_epoch(time_s, load_fraction=load))
+        return records
+
+    # ------------------------------------------------------------------
+    def aggregate_throughput(self, records: list[EpochRecord]) -> float:
+        """Cluster throughput for one epoch's records."""
+        if len(records) != len(self.controllers):
+            raise ConfigurationError("records must match the controller list")
+        return sum(r.throughput for r in records)

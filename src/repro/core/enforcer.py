@@ -1,0 +1,120 @@
+"""The Enforcer: Power Source Controller + Server Power Controller (Fig. 4).
+
+Once the scheduler has decided the power sources and the PAR, the
+Enforcer implements both decisions:
+
+* :class:`PowerSourceController` (PSC) drives the PDU/ATS: which sources
+  feed the rack, whether the battery may discharge, and who charges it.
+* :class:`ServerPowerController` (SPC) converts each group's power share
+  into a per-server budget and maps that budget onto the platform's
+  ordered power-state set (DVFS level, sleep, or off) — the paper's
+  linear power-to-state mapping (Section IV-B.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.sources import SourceDecision
+from repro.errors import PowerError
+from repro.power.pdu import PDU, EpochFlows
+from repro.servers.power_model import ServerPowerModel
+
+
+@dataclass(frozen=True)
+class EnforcedAllocation:
+    """What the SPC actually set, per group.
+
+    Attributes
+    ----------
+    per_server_budget_w:
+        The power cap handed to each server of each group.
+    state_indices:
+        The power state each group's servers were switched to.
+    """
+
+    per_server_budget_w: tuple[float, ...]
+    state_indices: tuple[int, ...]
+
+
+class ServerPowerController:
+    """Maps group power shares onto per-server DVFS states."""
+
+    @staticmethod
+    def apply(
+        server_groups: list[list[ServerPowerModel]],
+        group_budgets_w: tuple[float, ...] | list[float],
+        powered_counts: tuple[int, ...] | None = None,
+    ) -> EnforcedAllocation:
+        """Enforce ``group_budgets_w`` (total watts per group).
+
+        By default the budget is split evenly inside each group — the
+        paper distributes the same power to same-type servers — and each
+        server's SPC picks the highest power state whose full-load draw
+        fits the per-server share.  With ``powered_counts`` (the
+        partial-group extension) only the first ``k`` servers of each
+        group share the budget; the rest are switched off.
+
+        Raises
+        ------
+        PowerError
+            On a negative budget, a group-count mismatch, or a powered
+            count outside ``[0, len(group)]``.
+        """
+        if len(server_groups) != len(group_budgets_w):
+            raise PowerError(
+                f"{len(group_budgets_w)} budgets for {len(server_groups)} groups"
+            )
+        if powered_counts is not None and len(powered_counts) != len(server_groups):
+            raise PowerError("powered_counts must match the group count")
+        per_server: list[float] = []
+        states: list[int] = []
+        for g, (servers, budget) in enumerate(zip(server_groups, group_budgets_w)):
+            if budget < 0:
+                raise PowerError(f"group budget must be non-negative, got {budget}")
+            k = len(servers) if powered_counts is None else powered_counts[g]
+            if not 0 <= k <= len(servers):
+                raise PowerError(
+                    f"powered count {k} outside [0, {len(servers)}]"
+                )
+            share = 0.0 if k == 0 else budget / k
+            state_index = 0
+            for i, server in enumerate(servers):
+                state = server.enforce_budget(share if i < k else 0.0)
+                if i < k or k == 0:
+                    state_index = state.index if i < k else 0
+            per_server.append(share)
+            states.append(state_index)
+        return EnforcedAllocation(tuple(per_server), tuple(states))
+
+
+class PowerSourceController:
+    """Executes a :class:`SourceDecision` against the rack's PDU."""
+
+    def __init__(self, pdu: PDU) -> None:
+        self.pdu = pdu
+
+    def apply(
+        self,
+        decision: SourceDecision,
+        actual_load_w: float,
+        time_s: float,
+        duration_s: float,
+    ) -> EpochFlows:
+        """Supply ``actual_load_w`` under the decided source plan."""
+        return self.pdu.supply(
+            load_w=actual_load_w,
+            time_s=time_s,
+            duration_s=duration_s,
+            use_battery=decision.use_battery,
+            grid_charges_battery=decision.grid_charges_battery,
+            battery_cap_w=decision.battery_cap_w,
+        )
+
+
+class Enforcer:
+    """PSC + SPC bundle, one per rack controller."""
+
+    def __init__(self, pdu: PDU) -> None:
+        self.psc = PowerSourceController(pdu)
+        self.spc = ServerPowerController()

@@ -1,0 +1,78 @@
+"""Effective Power Utilization (paper Eq. 1).
+
+    EPU = sum(P_throughput) / sum(P_supply)
+
+``P_throughput`` is the green power *directly used to generate workload
+throughput* — the wall power drawn by servers that are actually producing
+output — and ``P_supply`` is the power supplied to the rack.  EPU is 1.0
+when every supplied watt turns into computation; it drops when power is
+allocated to servers that cannot use it (below idle power, above the
+workload's maximum draw, or to servers parked asleep).
+
+Unlike PUE, which measures facility overhead, EPU measures *allocation*
+quality, which is why the paper introduces it (Section III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import PowerError
+
+
+def useful_power(draws_w: Sequence[float], throughputs: Sequence[float]) -> float:
+    """Power drawn by servers producing non-zero throughput (W).
+
+    Parameters
+    ----------
+    draws_w:
+        Wall power drawn by each server.
+    throughputs:
+        Corresponding delivered throughput; a server contributes its draw
+        to ``P_throughput`` only when this is positive.
+    """
+    if len(draws_w) != len(throughputs):
+        raise PowerError("draws and throughputs must have equal length")
+    total = 0.0
+    for draw, perf in zip(draws_w, throughputs):
+        if draw < 0:
+            raise PowerError(f"negative power draw: {draw}")
+        if perf > 0.0:
+            total += draw
+    return total
+
+
+def effective_power_utilization(
+    p_throughput_w: float | Iterable[float],
+    p_supply_w: float | Iterable[float],
+) -> float:
+    """EPU over one interval or a whole run (Eq. 1).
+
+    Accepts scalars (one interval) or iterables (summed over a run).
+    Returns 0.0 when no power was supplied.
+
+    Raises
+    ------
+    PowerError
+        If throughput power exceeds supplied power (allocation accounting
+        must never create energy) or either quantity is negative.
+    """
+    throughput = (
+        float(p_throughput_w)
+        if isinstance(p_throughput_w, (int, float))
+        else float(sum(p_throughput_w))
+    )
+    supply = (
+        float(p_supply_w)
+        if isinstance(p_supply_w, (int, float))
+        else float(sum(p_supply_w))
+    )
+    if throughput < 0 or supply < 0:
+        raise PowerError("power totals must be non-negative")
+    if supply == 0.0:
+        return 0.0
+    if throughput > supply * (1.0 + 1e-9):
+        raise PowerError(
+            f"P_throughput ({throughput:.3f} W) exceeds P_supply ({supply:.3f} W)"
+        )
+    return min(throughput / supply, 1.0)

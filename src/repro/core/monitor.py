@@ -1,0 +1,111 @@
+"""The Monitor module (paper Fig. 4, left).
+
+The Monitor is the controller's sensing layer: it reads the distributed
+power sensors (renewable generation, battery discharge current) and the
+per-server power meters and performance counters, and reports them to
+the scheduler.  Real sensors are noisy, and that noise is load-bearing
+here — it is why the profiling database's online re-fitting
+(GreenHetero) beats the one-shot fit (GreenHetero-a).
+
+All noise is multiplicative Gaussian with per-channel sigmas, generated
+from a seeded RNG so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.servers.power_model import ServerSample
+
+
+@dataclass(frozen=True)
+class ServerObservation:
+    """One noisy server reading reported to the scheduler.
+
+    Attributes
+    ----------
+    group_index:
+        Which rack group the server belongs to.
+    power_w:
+        Metered wall power (noisy).
+    throughput:
+        Measured performance (noisy).
+    state_index:
+        The enforced power state (exact — the SPC knows what it set).
+    time_s:
+        Timestamp of the reading.
+    """
+
+    group_index: int
+    power_w: float
+    throughput: float
+    state_index: int
+    time_s: float
+
+
+class Monitor:
+    """Seeded, noisy sensing of power and performance.
+
+    Parameters
+    ----------
+    power_noise:
+        Relative sigma of the external power meter (paper's ZH-101-class
+        meters are ~1-3% accurate).
+    perf_noise:
+        Relative sigma of throughput measurements (run-to-run variance).
+    renewable_noise:
+        Relative sigma of the PV generation sensor.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        power_noise: float = 0.02,
+        perf_noise: float = 0.03,
+        renewable_noise: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        for name, value in (
+            ("power_noise", power_noise),
+            ("perf_noise", perf_noise),
+            ("renewable_noise", renewable_noise),
+        ):
+            if value < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+        self.power_noise = power_noise
+        self.perf_noise = perf_noise
+        self.renewable_noise = renewable_noise
+        self._rng = np.random.default_rng(seed)
+
+    def _jitter(self, value: float, sigma: float) -> float:
+        if sigma == 0.0 or value == 0.0:
+            return value
+        return max(0.0, value * (1.0 + sigma * float(self._rng.standard_normal())))
+
+    def observe_server(
+        self, sample: ServerSample, group_index: int, time_s: float
+    ) -> ServerObservation:
+        """Meter one server's (power, performance) operating point."""
+        return ServerObservation(
+            group_index=group_index,
+            power_w=self._jitter(sample.power_w, self.power_noise),
+            throughput=self._jitter(sample.throughput, self.perf_noise),
+            state_index=sample.state_index,
+            time_s=time_s,
+        )
+
+    def observe_renewable(self, power_w: float) -> float:
+        """Meter the PV array's instantaneous output."""
+        return self._jitter(power_w, self.renewable_noise)
+
+    def observe_throughput(self, throughput: float) -> float:
+        """Meter an aggregate throughput figure (e.g. a Manual trial run)."""
+        return self._jitter(throughput, self.perf_noise)
+
+    def observe_demand(self, power_w: float) -> float:
+        """Meter the rack's aggregate power demand."""
+        return self._jitter(power_w, self.power_noise)

@@ -1,0 +1,127 @@
+"""Profiling-database persistence.
+
+The paper's database "provides the power consumption and throughput
+projection for all workloads and server configurations *it has ever
+executed*" — knowledge that must survive controller restarts, or every
+reboot pays the training-run cost again for every pair.  This module
+serialises a :class:`~repro.core.database.ProfilingDatabase` to a
+versioned JSON document and restores it bit-for-bit (samples, envelopes,
+and the current fits).
+
+The format is deliberately plain JSON: operators can inspect and diff
+the learned projections, and foreign tools can consume them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.database import FitKind, PerfPowerFit, ProfilingDatabase
+from repro.errors import ConfigurationError
+
+#: Format version written into every document; bump on breaking changes.
+FORMAT_VERSION = 1
+
+
+def database_to_dict(db: ProfilingDatabase) -> dict[str, Any]:
+    """Serialise ``db`` into a JSON-ready dictionary."""
+    entries = []
+    for key in db.keys():
+        entry = db._entries[key]  # noqa: SLF001 - serialiser is a friend module
+        record: dict[str, Any] = {
+            "platform": key[0],
+            "workload": key[1],
+            "idle_power_w": entry.idle_power_w,
+            "max_power_w": entry.max_power_w,
+            "min_active_power_w": (
+                None
+                if entry.min_active_power_w == float("inf")
+                else entry.min_active_power_w
+            ),
+            "powers": list(entry.powers),
+            "perfs": list(entry.perfs),
+        }
+        if entry.fit is not None:
+            record["fit"] = {
+                "coefficients": list(entry.fit.coefficients),
+                "min_power_w": entry.fit.min_power_w,
+                "max_power_w": entry.fit.max_power_w,
+                "kind": entry.fit.kind.name,
+                "n_samples": entry.fit.n_samples,
+            }
+        entries.append(record)
+    return {
+        "format_version": FORMAT_VERSION,
+        "fit_kind": db.fit_kind.name,
+        "max_samples": db.max_samples,
+        "entries": entries,
+    }
+
+
+def database_from_dict(data: dict[str, Any]) -> ProfilingDatabase:
+    """Rebuild a database from :func:`database_to_dict` output.
+
+    Raises
+    ------
+    ConfigurationError
+        On version mismatch or malformed documents.
+    """
+    try:
+        version = data["format_version"]
+        if version != FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported database format version {version} "
+                f"(this build reads {FORMAT_VERSION})"
+            )
+        db = ProfilingDatabase(
+            fit_kind=FitKind[data["fit_kind"]],
+            max_samples=int(data["max_samples"]),
+        )
+        for record in data["entries"]:
+            key = (record["platform"], record["workload"])
+            db.ensure_entry(key, record["idle_power_w"], record["max_power_w"])
+            entry = db._entries[key]  # noqa: SLF001
+            if record["min_active_power_w"] is not None:
+                entry.min_active_power_w = record["min_active_power_w"]
+            entry.powers.extend(float(p) for p in record["powers"])
+            entry.perfs.extend(float(p) for p in record["perfs"])
+            entry.max_power_w = record["max_power_w"]
+            fit = record.get("fit")
+            if fit is not None:
+                entry.fit = PerfPowerFit(
+                    coefficients=tuple(fit["coefficients"]),
+                    min_power_w=fit["min_power_w"],
+                    max_power_w=fit["max_power_w"],
+                    kind=FitKind[fit["kind"]],
+                    n_samples=int(fit["n_samples"]),
+                )
+        return db
+    except ConfigurationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed database document: {exc}") from exc
+
+
+def save_database(db: ProfilingDatabase, path: str | Path) -> None:
+    """Write ``db`` as pretty-printed JSON at ``path``."""
+    document = database_to_dict(db)
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def load_database(path: str | Path) -> ProfilingDatabase:
+    """Read a database JSON document from ``path``.
+
+    Raises
+    ------
+    ConfigurationError
+        If the file is not valid JSON or not a database document.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read database from {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigurationError(f"{path} does not contain a database document")
+    return database_from_dict(data)

@@ -1,0 +1,174 @@
+"""The Adaptive Scheduler (paper Fig. 5).
+
+The scheduler is the decision core of GreenHetero.  Each epoch it:
+
+1. forecasts next-epoch renewable supply and rack demand with two Holt
+   predictors (Eq. 2-4), trained on history (Eq. 5);
+2. selects the power sources and the rack power budget (Cases A/B/C);
+3. checks the profiling database and requests a training run for any
+   (configuration, workload) pair it has never seen (Algorithm 1,
+   lines 3-5);
+4. asks the active policy for the PAR vector; and
+5. after execution, feeds the observed samples back into the database
+   and re-fits (Algorithm 1, lines 8-10) — when the policy enables the
+   optimisation.
+
+The scheduler is deliberately free of simulation concerns: it consumes
+observations and emits decisions, so it could drive real hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.database import PairKey, ProfilingDatabase
+from repro.core.monitor import ServerObservation
+from repro.core.policies import (
+    AllocationContext,
+    AllocationPlan,
+    GroupInfo,
+    Policy,
+)
+from repro.core.predictor import HoltPredictor
+from repro.core.sources import SourceDecision, SourceSelector
+from repro.errors import ConfigurationError
+from repro.power.battery import BatteryBank
+from repro.power.grid import GridSource
+
+
+class AdaptiveScheduler:
+    """Predictor + database + solver-policy + source selection.
+
+    Parameters
+    ----------
+    policy:
+        The allocation policy (any Table III entry).
+    database:
+        The profiling database; shared with nobody else.
+    renewable_predictor / demand_predictor:
+        Holt forecasters; fresh defaults are created when omitted.
+    selector:
+        The Case A/B/C source selector.
+    """
+
+    def __init__(
+        self,
+        policy: Policy,
+        database: ProfilingDatabase | None = None,
+        renewable_predictor: HoltPredictor | None = None,
+        demand_predictor: HoltPredictor | None = None,
+        selector: SourceSelector | None = None,
+    ) -> None:
+        self.policy = policy
+        self.database = database if database is not None else ProfilingDatabase()
+        self.renewable_predictor = renewable_predictor or HoltPredictor(alpha=0.7, beta=0.2)
+        self.demand_predictor = demand_predictor or HoltPredictor(alpha=0.6, beta=0.1)
+        self.selector = selector or SourceSelector()
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def pretrain_predictors(
+        self,
+        renewable_history: Sequence[float],
+        demand_history: Sequence[float],
+    ) -> None:
+        """Train alpha/beta on past records (Eq. 5) and prime the state."""
+        self.renewable_predictor = HoltPredictor.fit(renewable_history)
+        self.demand_predictor = HoltPredictor.fit(demand_history)
+
+    def observe(self, renewable_w: float, demand_w: float) -> None:
+        """Absorb this epoch's metered renewable output and rack demand."""
+        self.renewable_predictor.observe(renewable_w)
+        self.demand_predictor.observe(demand_w)
+
+    def forecast(self) -> tuple[float, float]:
+        """(renewable, demand) forecasts for the next epoch.
+
+        Raises
+        ------
+        ConfigurationError
+            Before the first observation; prime with
+            :meth:`pretrain_predictors` or :meth:`observe` first.
+        """
+        if not self.renewable_predictor.ready or not self.demand_predictor.ready:
+            raise ConfigurationError(
+                "predictors have no history; call observe() or "
+                "pretrain_predictors() first"
+            )
+        return self.renewable_predictor.predict(), self.demand_predictor.predict()
+
+    # ------------------------------------------------------------------
+    # Source selection
+    # ------------------------------------------------------------------
+    def plan_sources(
+        self, battery: BatteryBank, grid: GridSource, duration_s: float
+    ) -> SourceDecision:
+        """Case A/B/C selection from the current forecasts."""
+        renewable_hat, demand_hat = self.forecast()
+        return self.selector.decide(
+            predicted_renewable_w=renewable_hat,
+            predicted_demand_w=demand_hat,
+            battery=battery,
+            grid=grid,
+            duration_s=duration_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Database interaction (Algorithm 1)
+    # ------------------------------------------------------------------
+    def missing_pairs(self, groups: Sequence[GroupInfo]) -> list[PairKey]:
+        """Pairs with no relational equation yet (Algorithm 1 line 3)."""
+        return [g.key for g in groups if g.key not in self.database]
+
+    def ingest_training_run(
+        self, key: PairKey, idle_power_w: float, samples: list[tuple[float, float]]
+    ) -> None:
+        """Algorithm 1 lines 4-5: add a new relational projection."""
+        self.database.ingest_training_run(key, idle_power_w, samples)
+
+    def feed_back(self, observations: Sequence[ServerObservation], groups: Sequence[GroupInfo]) -> None:
+        """Algorithm 1 lines 8-10: absorb execution feedback and re-fit.
+
+        No-op when the active policy disables the optimisation
+        (GreenHetero-a) or an observation carries no useful signal
+        (sleeping server).
+        """
+        if not self.policy.updates_database:
+            return
+        touched: set[PairKey] = set()
+        for obs in observations:
+            if obs.throughput <= 0.0:
+                continue
+            key = groups[obs.group_index].key
+            self.database.add_sample(key, obs.power_w, obs.throughput)
+            touched.add(key)
+        for key in touched:
+            self.database.refit(key)
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def allocate_plan(
+        self,
+        budget_w: float,
+        groups: Sequence[GroupInfo],
+        oracle: Callable[[tuple[float, ...]], float] | None = None,
+    ) -> AllocationPlan:
+        """Ask the policy for this epoch's full allocation plan."""
+        ctx = AllocationContext(
+            budget_w=budget_w,
+            groups=tuple(groups),
+            database=self.database,
+            oracle=oracle,
+        )
+        return self.policy.allocate_plan(ctx)
+
+    def allocate(
+        self,
+        budget_w: float,
+        groups: Sequence[GroupInfo],
+        oracle: Callable[[tuple[float, ...]], float] | None = None,
+    ) -> tuple[float, ...]:
+        """Ask the policy for this epoch's PAR vector."""
+        return self.allocate_plan(budget_w, groups, oracle).ratios

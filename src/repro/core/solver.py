@@ -1,0 +1,569 @@
+"""The PAR problem solver (paper Section IV-B.3, Eq. 6-8).
+
+Given the profiling database's quadratic projections
+``Perf_i = f(l_i, m_i, n_i, Power_i)`` for each server group, the solver
+finds the power allocation ratio (PAR) vector that maximises aggregate
+rack performance:
+
+    maximize   sum_i  count_i * f_i(eta_i * P / count_i)
+    subject to sum_i eta_i <= 1,  eta_i >= 0
+
+with the paper's boundary semantics baked into every projection: a server
+allocated less than its idle power produces nothing, and performance
+plateaus beyond the workload's maximum draw.  Power the solver leaves
+unallocated (``1 - sum eta_i``) flows to the battery when the renewable
+supply is sufficient (Section IV-B.3).
+
+Equal shares within a group are implicit — the paper distributes the same
+power to same-type servers — so the decision variable is the *per-server*
+power ``p_i`` in the box ``[min_i, max_i]``, with group totals
+``count_i * p_i`` bounded by the budget.
+
+Three mechanisms are combined for robustness:
+
+1. **Subset enumeration** — powering a server below idle wastes the whole
+   allocation, so the solver explicitly considers switching entire groups
+   off (all 2^k - 1 non-empty subsets; the paper bounds k at 3).
+2. **KKT candidate enumeration** — inside a subset the objective is a
+   pure quadratic over a box intersected with one budget hyperplane, so
+   every KKT point is the solution of a tiny linear system: each group is
+   at its lower bound, upper bound, or free with equal marginal
+   throughput-per-watt (the water-filling condition
+   ``f_i'(p_i) = lambda``).  All candidates are enumerated and scored;
+   this is exact for quadratic projections.
+3. **Grid safety net** — a simplex sweep at configurable granularity
+   guards against degenerate fits (non-concave parabolas from noisy
+   samples, linear fall-backs) where the KKT enumeration may miss the
+   global maximum.
+
+The same machinery at 10% granularity with the *measured* objective is
+exactly the paper's Manual baseline (:meth:`PARSolver.compositions`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+from scipy import optimize
+
+from repro.core.database import PerfPowerFit
+from repro.errors import SolverError
+
+
+@dataclass(frozen=True)
+class GroupModel:
+    """One server group as the solver sees it.
+
+    Attributes
+    ----------
+    name:
+        Group label (platform name) for reporting.
+    count:
+        Number of identical servers in the group.
+    fit:
+        The database projection for (platform, workload).
+    """
+
+    name: str
+    count: int
+    fit: PerfPowerFit
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise SolverError(f"group {self.name}: count must be >= 1")
+
+
+@dataclass(frozen=True)
+class PARSolution:
+    """A solved allocation.
+
+    Attributes
+    ----------
+    ratios:
+        PAR vector: fraction of the total budget granted to each group
+        (``sum <= 1``; the remainder is unallocated).
+    per_server_w:
+        Power cap for each server in each group (W).
+    expected_perf:
+        Projected aggregate performance under the database fits.
+    method:
+        Which mechanism produced the winner (``"kkt"``, ``"grid"``, or
+        ``"uniform-fallback"``).
+    """
+
+    ratios: tuple[float, ...]
+    per_server_w: tuple[float, ...]
+    expected_perf: float
+    method: str
+    #: How many of each group's servers are powered; ``None`` means all
+    #: (the paper's same-power-per-type rule).  Set by
+    #: :class:`PartialGroupSolver`.
+    powered_counts: tuple[int, ...] | None = None
+
+    @property
+    def allocated_fraction(self) -> float:
+        """Share of the budget actually handed to servers."""
+        return sum(self.ratios)
+
+
+class PARSolver:
+    """Finds the optimal PAR for up to a handful of server groups.
+
+    Parameters
+    ----------
+    granularity:
+        Step of the grid safety net for <= 2 groups (finer) — 3-group
+        racks use ``coarse_granularity`` to keep the sweep cheap.
+    coarse_granularity:
+        Simplex step used when there are 3 or more groups.
+    max_groups:
+        Sanity bound; the paper's rack-level deployment caps at 3 types.
+    """
+
+    def __init__(
+        self,
+        granularity: float = 0.01,
+        coarse_granularity: float = 0.04,
+        max_groups: int = 4,
+        safety_margin: float = 0.05,
+        scipy_polish: bool = True,
+    ) -> None:
+        if not 0.0 < granularity <= 0.5:
+            raise SolverError("granularity must be in (0, 0.5]")
+        if not 0.0 < coarse_granularity <= 0.5:
+            raise SolverError("coarse granularity must be in (0, 0.5]")
+        if safety_margin < 0:
+            raise SolverError("safety margin must be non-negative")
+        self.granularity = granularity
+        self.coarse_granularity = coarse_granularity
+        self.max_groups = max_groups
+        self.safety_margin = safety_margin
+        self.scipy_polish = scipy_polish
+
+    def _lo(self, fit: PerfPowerFit) -> float:
+        """Effective lower power bound for allocation decisions.
+
+        The database's power-on boundary is learned from noisy meter
+        samples; allocating *exactly* at it risks landing just below the
+        server's true lowest active draw and wasting the whole share (the
+        power-on cliff).  A small relative margin keeps allocations
+        safely above the cliff.
+        """
+        return min(fit.min_power_w * (1.0 + self.safety_margin), fit.max_power_w)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def solve(self, groups: Sequence[GroupModel], total_power_w: float) -> PARSolution:
+        """Maximise projected rack performance under ``total_power_w``.
+
+        Raises
+        ------
+        SolverError
+            On empty input, too many groups, or a negative budget.
+        """
+        if not groups:
+            raise SolverError("need at least one group")
+        if len(groups) > self.max_groups:
+            raise SolverError(
+                f"{len(groups)} groups exceeds max_groups={self.max_groups}"
+            )
+        if total_power_w < 0:
+            raise SolverError(f"budget must be non-negative, got {total_power_w}")
+
+        k = len(groups)
+        zero = PARSolution((0.0,) * k, (0.0,) * k, 0.0, "kkt")
+        if total_power_w == 0:
+            return zero
+
+        best_p: tuple[float, ...] = (0.0,) * k
+        best_score = 0.0
+        best_method = "kkt"
+
+        for candidate in self._kkt_candidates(groups, total_power_w):
+            score = self._score(groups, candidate)
+            if score > best_score:
+                best_p, best_score, best_method = candidate, score, "kkt"
+
+        grid_p, grid_score = self._grid_best(groups, total_power_w)
+        if grid_score > best_score + 1e-12:
+            best_p, best_score, best_method = grid_p, grid_score, "grid"
+
+        if self.scipy_polish and best_score > 0.0:
+            polished = self._polish(groups, total_power_w, best_p)
+            if polished is not None:
+                p, score = polished
+                if score > best_score + 1e-9:
+                    best_p, best_score, best_method = p, score, "slsqp"
+
+        if best_score <= 0.0:
+            return zero
+        return self._to_solution(groups, best_p, best_score, best_method, total_power_w)
+
+    @staticmethod
+    def compositions(k: int, granularity: float = 0.1) -> list[tuple[float, ...]]:
+        """All PAR vectors summing to exactly 1 at ``granularity`` steps.
+
+        This is the search space of the paper's Manual baseline (10%
+        granularity, Table III).
+        """
+        if k < 1:
+            raise SolverError("k must be >= 1")
+        steps = round(1.0 / granularity)
+        if abs(steps * granularity - 1.0) > 1e-9:
+            raise SolverError("granularity must divide 1 evenly")
+        out: list[tuple[float, ...]] = []
+        for combo in itertools.combinations_with_replacement(range(k), steps):
+            counts = [0] * k
+            for idx in combo:
+                counts[idx] += 1
+            out.append(tuple(c * granularity for c in counts))
+        return out
+
+    @classmethod
+    def exhaustive(
+        cls,
+        k: int,
+        objective: Callable[[tuple[float, ...]], float],
+        granularity: float = 0.1,
+    ) -> tuple[tuple[float, ...], float]:
+        """Try every composition and return the best (Manual's procedure).
+
+        ``objective`` receives a PAR vector and returns measured rack
+        performance; in the paper this is a physical trial run.
+        """
+        best_ratios: tuple[float, ...] | None = None
+        best_value = -np.inf
+        for ratios in cls.compositions(k, granularity):
+            value = objective(ratios)
+            if value > best_value:
+                best_value = value
+                best_ratios = ratios
+        if best_ratios is None:  # pragma: no cover - compositions never empty
+            raise SolverError("no composition evaluated")
+        return best_ratios, float(best_value)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _score(groups: Sequence[GroupModel], per_server_w: Sequence[float]) -> float:
+        """Projected aggregate performance (clamped fits)."""
+        return sum(
+            g.count * g.fit.predict(p) for g, p in zip(groups, per_server_w)
+        )
+
+    def _to_solution(
+        self,
+        groups: Sequence[GroupModel],
+        per_server_w: tuple[float, ...],
+        score: float,
+        method: str,
+        total_power_w: float,
+    ) -> PARSolution:
+        # Never hand a server more than its plateau: trimming to max_w
+        # keeps performance identical and releases power to the battery.
+        trimmed = tuple(
+            min(p, g.fit.max_power_w) if p > 0 else 0.0
+            for g, p in zip(groups, per_server_w)
+        )
+        ratios = tuple(
+            g.count * p / total_power_w for g, p in zip(groups, trimmed)
+        )
+        return PARSolution(
+            ratios=ratios,
+            per_server_w=trimmed,
+            expected_perf=score,
+            method=method,
+        )
+
+    # ------------------------------------------------------------------
+    # KKT enumeration
+    # ------------------------------------------------------------------
+    def _kkt_candidates(
+        self, groups: Sequence[GroupModel], budget_w: float
+    ) -> Iterable[tuple[float, ...]]:
+        k = len(groups)
+        indices = range(k)
+        for powered in itertools.product((False, True), repeat=k):
+            if not any(powered):
+                continue
+            on = [i for i in indices if powered[i]]
+            min_total = sum(groups[i].count * self._lo(groups[i].fit) for i in on)
+            if min_total > budget_w:
+                continue
+            yield from self._subset_candidates(groups, on, budget_w)
+
+    def _subset_candidates(
+        self, groups: Sequence[GroupModel], on: list[int], budget_w: float
+    ) -> Iterable[tuple[float, ...]]:
+        """KKT points for a fixed powered subset."""
+        k = len(groups)
+
+        def assemble(values: dict[int, float]) -> tuple[float, ...] | None:
+            p = [0.0] * k
+            total = 0.0
+            for i in on:
+                v = values[i]
+                fit = groups[i].fit
+                lo = self._lo(fit)
+                if v < lo - 1e-9 or v > fit.max_power_w + 1e-9:
+                    return None
+                v = min(max(v, lo), fit.max_power_w)
+                p[i] = v
+                total += groups[i].count * v
+            if total > budget_w + 1e-6:
+                return None
+            return tuple(p)
+
+        # Each powered group is at LO, HI, or FREE.
+        for assignment in itertools.product(("lo", "hi", "free"), repeat=len(on)):
+            fixed: dict[int, float] = {}
+            free: list[int] = []
+            for i, tag in zip(on, assignment):
+                fit = groups[i].fit
+                if tag == "lo":
+                    fixed[i] = self._lo(fit)
+                elif tag == "hi":
+                    fixed[i] = fit.max_power_w
+                else:
+                    free.append(i)
+
+            fixed_total = sum(groups[i].count * fixed[i] for i in fixed)
+            if not free:
+                candidate = assemble(fixed)
+                if candidate is not None:
+                    yield candidate
+                continue
+
+            # Budget-slack stationary point: f_i'(p_i) = 0 for free i.
+            interior: dict[int, float] = dict(fixed)
+            ok = True
+            for i in free:
+                fit = groups[i].fit
+                if abs(fit.l) < 1e-15:
+                    ok = False  # linear fit: no interior stationary point
+                    break
+                interior[i] = -fit.m / (2.0 * fit.l)
+            if ok:
+                candidate = assemble(interior)
+                if candidate is not None:
+                    yield candidate
+
+            # Budget-tight stationary point: f_i'(p_i) = lambda for free i,
+            # sum count_i p_i = budget.  Solve the 1-D linear system for
+            # lambda: p_i = (lambda - m_i) / (2 l_i).
+            denom = 0.0
+            offset = 0.0
+            degenerate = False
+            for i in free:
+                fit = groups[i].fit
+                if abs(fit.l) < 1e-15:
+                    degenerate = True
+                    break
+                denom += groups[i].count / (2.0 * fit.l)
+                offset += groups[i].count * fit.m / (2.0 * fit.l)
+            if degenerate or abs(denom) < 1e-15:
+                continue
+            remaining = budget_w - fixed_total
+            lam = (remaining + offset) / denom
+            tight: dict[int, float] = dict(fixed)
+            for i in free:
+                fit = groups[i].fit
+                tight[i] = (lam - fit.m) / (2.0 * fit.l)
+            candidate = assemble(tight)
+            if candidate is not None:
+                yield candidate
+
+    # ------------------------------------------------------------------
+    # SLSQP polish: refine the winning candidate within its powered
+    # subset's box.  Exact KKT already handles pure quadratics; the
+    # polish pays off when the grid's coarse step won (3-group racks,
+    # degenerate fits).
+    # ------------------------------------------------------------------
+    def _polish(
+        self,
+        groups: Sequence[GroupModel],
+        budget_w: float,
+        start: tuple[float, ...],
+    ) -> tuple[tuple[float, ...], float] | None:
+        on = [i for i, p in enumerate(start) if p > 0.0]
+        if not on:
+            return None
+        bounds = [
+            (self._lo(groups[i].fit), max(self._lo(groups[i].fit), groups[i].fit.max_power_w))
+            for i in on
+        ]
+        counts = np.array([groups[i].count for i in on], dtype=float)
+        x0 = np.array([min(max(start[i], b[0]), b[1]) for i, b in zip(on, bounds)])
+        if counts @ x0 > budget_w + 1e-6:
+            return None
+
+        def negative_perf(x: np.ndarray) -> float:
+            return -sum(
+                groups[i].count * groups[i].fit.predict(float(xi))
+                for i, xi in zip(on, x)
+            )
+
+        result = optimize.minimize(
+            negative_perf,
+            x0=x0,
+            bounds=bounds,
+            constraints=[
+                {"type": "ineq", "fun": lambda x: budget_w - float(counts @ x)}
+            ],
+            method="SLSQP",
+        )
+        if not result.success:
+            return None
+        if float(counts @ result.x) > budget_w + 1e-6:
+            return None
+        p = [0.0] * len(groups)
+        for i, xi in zip(on, result.x):
+            p[i] = float(xi)
+        return tuple(p), self._score(groups, p)
+
+    # ------------------------------------------------------------------
+    # Grid safety net (vectorised: the 3-group simplex has ~10^4 points)
+    # ------------------------------------------------------------------
+    def _predict_array(self, fit: PerfPowerFit, p: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`PerfPowerFit.predict` with the safety margin."""
+        clamped = np.minimum(p, fit.max_power_w)
+        values = np.maximum(np.polyval(fit.coefficients, clamped), 0.0)
+        return np.where(p < self._lo(fit), 0.0, values)
+
+    def _grid_best(
+        self, groups: Sequence[GroupModel], budget_w: float
+    ) -> tuple[tuple[float, ...], float]:
+        k = len(groups)
+        step = self.granularity if k <= 2 else self.coarse_granularity
+        n_steps = int(round(1.0 / step))
+        fractions = np.linspace(0.0, 1.0, n_steps + 1)
+
+        grids = np.meshgrid(*([fractions] * k), indexing="ij")
+        etas = np.stack([g.ravel() for g in grids], axis=0)  # (k, n_points)
+        feasible = etas.sum(axis=0) <= 1.0 + 1e-12
+        etas = etas[:, feasible]
+
+        scores = np.zeros(etas.shape[1])
+        for i, group in enumerate(groups):
+            per_server = etas[i] * budget_w / group.count
+            scores += group.count * self._predict_array(group.fit, per_server)
+
+        best_idx = int(np.argmax(scores))
+        best_p = tuple(
+            float(etas[i, best_idx] * budget_w / groups[i].count) for i in range(k)
+        )
+        return best_p, float(scores[best_idx])
+
+
+class PartialGroupSolver(PARSolver):
+    """PAR optimisation with per-group partial power-on (beyond the paper).
+
+    The paper distributes "the same amount of power to the same type of
+    servers by default" — a group is all-on or all-off.  That loses
+    exactly at the power-on cliffs: a budget that cannot lift all five
+    Xeons above their minimum active draw wastes the whole group, even
+    when it could have run three of them well.
+
+    This solver additionally chooses *how many* servers of each group to
+    power (``k_i`` of ``count_i``, each powered server still receiving an
+    equal share):
+
+        maximize   sum_i  k_i * f_i(p_i)
+        subject to sum_i  k_i * p_i <= P,   p_i in [lo_i, hi_i],
+                   k_i in {0 .. count_i}
+
+    For each of the (count_i + 1)-way per-group choices — at most
+    6^3 = 216 combinations at the paper's rack sizes — the inner problem
+    is the base class's exact KKT enumeration with counts ``k``.
+    """
+
+    def solve(self, groups: Sequence[GroupModel], total_power_w: float) -> PARSolution:
+        """Maximise projected performance, also choosing powered counts.
+
+        Returns a :class:`PARSolution` whose ``powered_counts`` states
+        how many servers of each group share that group's budget.
+
+        Raises
+        ------
+        SolverError
+            On empty input, too many groups, or a negative budget.
+        """
+        if not groups:
+            raise SolverError("need at least one group")
+        if len(groups) > self.max_groups:
+            raise SolverError(
+                f"{len(groups)} groups exceeds max_groups={self.max_groups}"
+            )
+        if total_power_w < 0:
+            raise SolverError(f"budget must be non-negative, got {total_power_w}")
+
+        combinations = 1
+        for g in groups:
+            combinations *= g.count + 1
+        if combinations > 20_000:
+            raise SolverError(
+                f"{combinations} powered-count combinations exceed the "
+                "exact enumeration budget; use PARSolver (group-granular) "
+                "for racks this large"
+            )
+
+        n = len(groups)
+        zero = PARSolution(
+            (0.0,) * n, (0.0,) * n, 0.0, "kkt", powered_counts=(0,) * n
+        )
+        if total_power_w == 0:
+            return zero
+
+        best_p: tuple[float, ...] = (0.0,) * n
+        best_k: tuple[int, ...] = (0,) * n
+        best_score = 0.0
+
+        for k in itertools.product(*(range(g.count + 1) for g in groups)):
+            if not any(k):
+                continue
+            min_total = sum(
+                ki * self._lo(g.fit) for ki, g in zip(k, groups) if ki > 0
+            )
+            if min_total > total_power_w:
+                continue
+            scaled = [
+                GroupModel(g.name, ki, g.fit)
+                for g, ki in zip(groups, k)
+                if ki > 0
+            ]
+            on = list(range(len(scaled)))
+            for candidate in self._subset_candidates(scaled, on, total_power_w):
+                score = self._score(scaled, candidate)
+                if score > best_score + 1e-12:
+                    # Re-expand the candidate onto the original group axes.
+                    expanded = [0.0] * n
+                    j = 0
+                    for i, ki in enumerate(k):
+                        if ki > 0:
+                            expanded[i] = candidate[j]
+                            j += 1
+                    best_p = tuple(expanded)
+                    best_k = tuple(k)
+                    best_score = score
+
+        if best_score <= 0.0:
+            return zero
+        trimmed = tuple(
+            min(p, g.fit.max_power_w) if p > 0 else 0.0
+            for g, p in zip(groups, best_p)
+        )
+        ratios = tuple(
+            ki * p / total_power_w for ki, p in zip(best_k, trimmed)
+        )
+        return PARSolution(
+            ratios=ratios,
+            per_server_w=trimmed,
+            expected_perf=best_score,
+            method="kkt-partial",
+            powered_counts=best_k,
+        )

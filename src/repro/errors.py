@@ -1,0 +1,76 @@
+"""Exception hierarchy for the GreenHetero library.
+
+Every error raised by this package derives from :class:`ReproError`, so a
+caller embedding the simulator can catch a single base class.  Subclasses
+are scoped to the subsystem that raises them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment, rack, or component was configured inconsistently."""
+
+
+class UnknownPlatformError(ConfigurationError):
+    """A server platform name was not found in the platform registry."""
+
+    def __init__(self, name: str, known: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.known = known
+        hint = f" (known: {', '.join(known)})" if known else ""
+        super().__init__(f"unknown server platform {name!r}{hint}")
+
+
+class UnknownWorkloadError(ConfigurationError):
+    """A workload name was not found in the workload catalog."""
+
+    def __init__(self, name: str, known: tuple[str, ...] = ()) -> None:
+        self.name = name
+        self.known = known
+        hint = f" (known: {', '.join(known)})" if known else ""
+        super().__init__(f"unknown workload {name!r}{hint}")
+
+
+class IncompatibleWorkloadError(ConfigurationError):
+    """A workload was scheduled on a platform class it cannot run on."""
+
+
+class PowerError(ReproError):
+    """An invalid power value or impossible power flow was requested."""
+
+
+class BatteryError(PowerError):
+    """A battery operation violated its physical or policy constraints."""
+
+
+class SolverError(ReproError):
+    """The PAR solver could not produce a feasible allocation."""
+
+
+class DatabaseMissError(ReproError):
+    """The profiling database has no model for a (platform, workload) pair.
+
+    Raised when a projection is requested before a training run has
+    populated the entry (Algorithm 1, lines 3-5 of the paper).
+    """
+
+    def __init__(self, platform: str, workload: str) -> None:
+        self.platform = platform
+        self.workload = workload
+        super().__init__(
+            f"no performance-power projection for platform {platform!r} "
+            f"running workload {workload!r}; a training run is required"
+        )
+
+
+class TraceError(ReproError):
+    """A power or load trace was malformed or out of range."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine reached an inconsistent state."""

@@ -1,0 +1,27 @@
+"""Energy substrate: solar farm, battery bank, grid, and the PDU tree.
+
+Models the rack-level green power system of the paper's Fig. 2: an
+on-site photovoltaic array feeding a rack PDU, a distributed lead-acid
+battery bank per rack (DoD-limited, 80% efficient), and utility grid
+power behind an automatic transfer switch with a capped budget.
+"""
+
+from repro.power.battery import BatteryBank
+from repro.power.grid import GridSource
+from repro.power.pdu import PDU, EpochFlows
+from repro.power.solar import SolarFarm
+from repro.power.sources import ChargeSource, SupplyBreakdown
+from repro.power.wind import HybridRenewable, WindFarm, WindSpeedTrace
+
+__all__ = [
+    "BatteryBank",
+    "ChargeSource",
+    "EpochFlows",
+    "GridSource",
+    "HybridRenewable",
+    "PDU",
+    "SolarFarm",
+    "SupplyBreakdown",
+    "WindFarm",
+    "WindSpeedTrace",
+]

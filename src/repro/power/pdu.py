@@ -1,0 +1,185 @@
+"""The rack power distribution unit (PDU) and transfer-switch logic.
+
+In the paper's architecture (Fig. 2) each rack has its own PDU fed by the
+on-site PV array, a distributed battery bank, and the utility grid behind
+an automatic transfer switch.  The PDU here *mechanically executes* power
+flows for one interval under the priority order the paper fixes:
+
+1. renewable power serves the load first;
+2. the battery supplements any shortfall (down to its DoD floor);
+3. the grid is the last resort, capped at its budget;
+4. surplus renewable charges the battery; when there is no surplus and
+   the controller asks for it, leftover grid budget charges the battery —
+   never both at once (single-charging-source rule, Section IV-B.1).
+
+*Deciding* how much load to place (the rack power budget, Cases A/B/C)
+is the scheduler's job (:mod:`repro.core.sources`); the PDU only enforces
+physics and reports what actually flowed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerError
+from repro.power.battery import BatteryBank
+from repro.power.grid import GridSource
+from repro.power.sources import ChargeSource, SupplyBreakdown
+
+
+@dataclass(frozen=True)
+class EpochFlows:
+    """What actually flowed through the PDU during one interval.
+
+    Attributes
+    ----------
+    breakdown:
+        Per-source watts to the load plus battery-charging flows.
+    renewable_available_w:
+        Solar power that was available during the interval.
+    curtailed_w:
+        Renewable power neither delivered to the load nor stored
+        (battery full or charge-rate limited).
+    delivered_w:
+        Convenience copy of ``breakdown.total_to_load_w``.
+    battery_soc_wh:
+        Battery state of charge after the interval.
+    """
+
+    breakdown: SupplyBreakdown
+    renewable_available_w: float
+    curtailed_w: float
+    delivered_w: float
+    battery_soc_wh: float
+
+
+class PDU:
+    """One rack's power tree: renewable + battery + grid behind the ATS.
+
+    Parameters
+    ----------
+    renewable:
+        The on-site renewable feed — a
+        :class:`~repro.power.solar.SolarFarm`, a
+        :class:`~repro.power.wind.WindFarm`, or a
+        :class:`~repro.power.wind.HybridRenewable` — anything exposing
+        ``power_at(time_s)``.
+    battery:
+        The rack's distributed battery bank.
+    grid:
+        Budget-capped utility feed.
+    """
+
+    def __init__(self, renewable, battery: BatteryBank, grid: GridSource) -> None:
+        if not hasattr(renewable, "power_at"):
+            raise PowerError(f"renewable source {renewable!r} lacks power_at()")
+        self.renewable = renewable
+        self.battery = battery
+        self.grid = grid
+
+    @property
+    def solar(self):
+        """Backwards-compatible alias for the renewable feed."""
+        return self.renewable
+
+    def available_w(self, time_s: float, duration_s: float) -> float:
+        """Upper bound on rack power deliverable now (planning aid)."""
+        return (
+            self.renewable.power_at(time_s)
+            + self.battery.max_discharge_power_w(duration_s)
+            + self.grid.budget_w
+        )
+
+    def supply(
+        self,
+        load_w: float,
+        time_s: float,
+        duration_s: float,
+        use_battery: bool = True,
+        grid_charges_battery: bool = False,
+        battery_cap_w: float | None = None,
+    ) -> EpochFlows:
+        """Serve ``load_w`` watts for ``duration_s`` seconds.
+
+        Parameters
+        ----------
+        load_w:
+            Rack power demand this interval.
+        time_s:
+            Interval start (drives the solar trace).
+        duration_s:
+            Interval length.
+        use_battery:
+            Whether the controller permits battery discharge.
+        grid_charges_battery:
+            Whether leftover grid budget should recharge a non-full
+            battery when there is no renewable surplus.
+        battery_cap_w:
+            Optional limit on battery discharge this interval (the
+            rationing extension); the grid covers the remainder.
+
+        Returns
+        -------
+        EpochFlows
+            Actual flows; ``delivered_w`` may be below ``load_w`` when
+            every source is exhausted (the scheduler's budget should
+            normally prevent that).
+        """
+        if load_w < 0:
+            raise PowerError(f"load must be non-negative, got {load_w}")
+        if duration_s <= 0:
+            raise PowerError("duration must be positive")
+
+        renewable = self.renewable.power_at(time_s)
+        r_to_load = min(renewable, load_w)
+        shortfall = load_w - r_to_load
+
+        b_to_load = 0.0
+        if use_battery and shortfall > 0:
+            ask = shortfall if battery_cap_w is None else min(shortfall, battery_cap_w)
+            if ask > 0:
+                b_to_load = self.battery.discharge(ask, duration_s)
+                shortfall -= b_to_load
+
+        # Grid: one metered draw covering load and (optionally) charging,
+        # with load taking priority within the budget.
+        desired_grid_load = shortfall
+        surplus = renewable - r_to_load
+
+        charge_w = 0.0
+        charge_source = ChargeSource.NONE
+        desired_grid_charge = 0.0
+        if surplus > 0:
+            charge_w = self.battery.charge(surplus, duration_s)
+            if charge_w > 0:
+                charge_source = ChargeSource.RENEWABLE
+        elif grid_charges_battery and not self.battery.is_full:
+            head = max(0.0, self.grid.budget_w - min(desired_grid_load, self.grid.budget_w))
+            desired_grid_charge = min(head, self.battery.max_charge_power_w(duration_s))
+
+        g_total = 0.0
+        if desired_grid_load > 0 or desired_grid_charge > 0:
+            g_total = self.grid.draw(desired_grid_load + desired_grid_charge, duration_s)
+        g_to_load = min(desired_grid_load, g_total)
+        g_to_charge = g_total - g_to_load
+        if g_to_charge > 0:
+            accepted = self.battery.charge(g_to_charge, duration_s)
+            charge_w = accepted
+            charge_source = ChargeSource.GRID
+
+        curtailed = max(0.0, surplus - charge_w) if charge_source is not ChargeSource.GRID else max(0.0, surplus)
+
+        breakdown = SupplyBreakdown(
+            renewable_to_load_w=r_to_load,
+            battery_to_load_w=b_to_load,
+            grid_to_load_w=g_to_load,
+            charge_w=charge_w,
+            charge_source=charge_source,
+        )
+        return EpochFlows(
+            breakdown=breakdown,
+            renewable_available_w=renewable,
+            curtailed_w=curtailed,
+            delivered_w=breakdown.total_to_load_w,
+            battery_soc_wh=self.battery.soc_wh,
+        )

@@ -1,0 +1,130 @@
+"""Failure injection for robustness testing.
+
+A green datacenter's control loop must degrade gracefully when the
+physical world misbehaves: inverters trip, batteries are taken offline
+for maintenance, utility feeds brown out.  :class:`FaultInjector`
+schedules such events against a running controller; the engine applies
+it at every epoch boundary, and the restore logic guarantees components
+return to their healthy configuration when a window closes.
+
+Three fault families cover the rack's three sources:
+
+* **renewable dropout** — the PV/wind feed produces a fraction of its
+  true output (0.0 = total inverter trip) during a window;
+* **battery outage** — the bank cannot discharge (maintenance / BMS
+  lockout); charging still works, as in a real lockout;
+* **grid outage** — the utility budget collapses to a fraction of its
+  provisioned value (brownout) or zero (blackout).
+
+The injector never touches controller internals — it only perturbs the
+same physical interfaces the real world would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.controller import GreenHeteroController
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """A half-open time interval ``[start_s, end_s)`` with a severity."""
+
+    start_s: float
+    end_s: float
+    factor: float  # remaining capability fraction during the window
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ConfigurationError("fault window must have positive length")
+        if not 0.0 <= self.factor <= 1.0:
+            raise ConfigurationError("fault factor must be in [0, 1]")
+
+    def active_at(self, time_s: float) -> bool:
+        return self.start_s <= time_s < self.end_s
+
+
+class _FaultableRenewable:
+    """Wraps a renewable source, scaling output during fault windows."""
+
+    def __init__(self, inner, windows: list[FaultWindow]) -> None:
+        self._inner = inner
+        self._windows = windows
+
+    def power_at(self, time_s: float) -> float:
+        power = self._inner.power_at(time_s)
+        for window in self._windows:
+            if window.active_at(time_s):
+                power *= window.factor
+        return power
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+@dataclass
+class FaultInjector:
+    """Schedules component faults against one rack controller."""
+
+    renewable_windows: list[FaultWindow] = field(default_factory=list)
+    battery_windows: list[FaultWindow] = field(default_factory=list)
+    grid_windows: list[FaultWindow] = field(default_factory=list)
+    _attached: bool = False
+    _healthy_discharge_w: float | None = None
+    _healthy_grid_budget_w: float | None = None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def add_renewable_dropout(self, start_s: float, end_s: float, factor: float = 0.0) -> "FaultInjector":
+        """PV/wind output scaled to ``factor`` during the window."""
+        self.renewable_windows.append(FaultWindow(start_s, end_s, factor))
+        return self
+
+    def add_battery_outage(self, start_s: float, end_s: float) -> "FaultInjector":
+        """Battery cannot discharge during the window (BMS lockout)."""
+        self.battery_windows.append(FaultWindow(start_s, end_s, 0.0))
+        return self
+
+    def add_grid_outage(self, start_s: float, end_s: float, factor: float = 0.0) -> "FaultInjector":
+        """Grid budget scaled to ``factor`` (0 = blackout) during the window."""
+        self.grid_windows.append(FaultWindow(start_s, end_s, factor))
+        return self
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def attach(self, controller: GreenHeteroController) -> None:
+        """Wrap the controller's components once (idempotent)."""
+        if self._attached:
+            return
+        controller.pdu.renewable = _FaultableRenewable(
+            controller.pdu.renewable, self.renewable_windows
+        )
+        self._healthy_discharge_w = controller.pdu.battery.max_discharge_w
+        self._healthy_grid_budget_w = controller.pdu.grid.budget_w
+        self._attached = True
+
+    def apply(self, controller: GreenHeteroController, time_s: float) -> None:
+        """Set component health for the epoch starting at ``time_s``."""
+        self.attach(controller)
+        assert self._healthy_discharge_w is not None
+        assert self._healthy_grid_budget_w is not None
+
+        battery_factor = 1.0
+        for window in self.battery_windows:
+            if window.active_at(time_s):
+                battery_factor = min(battery_factor, window.factor)
+        # A zero discharge limit would be rejected by the battery's own
+        # validation; an epsilon models a locked-out bank faithfully.
+        controller.pdu.battery.max_discharge_w = max(
+            battery_factor * self._healthy_discharge_w, 1e-9
+        )
+
+        grid_factor = 1.0
+        for window in self.grid_windows:
+            if window.active_at(time_s):
+                grid_factor = min(grid_factor, window.factor)
+        controller.pdu.grid.budget_w = grid_factor * self._healthy_grid_budget_w

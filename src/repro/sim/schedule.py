@@ -1,0 +1,89 @@
+"""Workload schedules: what the rack runs changes over the day.
+
+Real green datacenters time-shift work: interactive services carry the
+day, deferrable batch jobs soak up the night (or, in renewable-aware
+shops like GreenSlot/GreenHadoop from the paper's related work, the
+sunny hours).  :class:`WorkloadSchedule` expresses such a rotation as
+daily-cyclic phases; the engine switches the controller's rack workload
+at phase boundaries, exercising Algorithm 1's arrival path — the first
+epoch of each never-before-seen (platform, workload) pair triggers a
+training run, while returning phases reuse the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import SECONDS_PER_DAY
+
+#: A schedule entry's workload spec: one name for the whole rack or a
+#: per-group list (co-location).
+WorkloadSpec = "str | list[str]"
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """One daily-cyclic phase.
+
+    Attributes
+    ----------
+    start_hour:
+        Hour of day (local, [0, 24)) this phase begins.
+    workload:
+        Workload name, or a per-group list for mixed racks.
+    """
+
+    start_hour: float
+    workload: str | list[str]
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_hour < 24.0:
+            raise ConfigurationError(
+                f"phase start hour must be in [0, 24), got {self.start_hour}"
+            )
+
+
+class WorkloadSchedule:
+    """A daily rotation of workloads.
+
+    Parameters
+    ----------
+    phases:
+        At least one phase; starts need not be sorted, but must be
+        distinct.  The phase active at any hour is the one with the
+        greatest start not after it, wrapping to the latest phase
+        overnight.
+
+    Examples
+    --------
+    >>> schedule = WorkloadSchedule([
+    ...     WorkloadPhase(8.0, "SPECjbb"),        # business hours
+    ...     WorkloadPhase(20.0, "Streamcluster"), # overnight batch
+    ... ])
+    >>> schedule.workload_at(10 * 3600.0)
+    'SPECjbb'
+    >>> schedule.workload_at(3 * 3600.0)          # 03:00: still batch
+    'Streamcluster'
+    """
+
+    def __init__(self, phases: list[WorkloadPhase]) -> None:
+        if not phases:
+            raise ConfigurationError("a schedule needs at least one phase")
+        starts = [p.start_hour for p in phases]
+        if len(set(starts)) != len(starts):
+            raise ConfigurationError("phase start hours must be distinct")
+        self.phases = sorted(phases, key=lambda p: p.start_hour)
+
+    def phase_at(self, time_s: float) -> WorkloadPhase:
+        """The phase active at simulation time ``time_s``."""
+        hour = (time_s % SECONDS_PER_DAY) / 3600.0
+        active = self.phases[-1]  # overnight wrap: latest phase carries over
+        for phase in self.phases:
+            if phase.start_hour <= hour:
+                active = phase
+        return active
+
+    def workload_at(self, time_s: float) -> str | list[str]:
+        """Convenience: the active phase's workload spec."""
+        return self.phase_at(time_s).workload

@@ -1,0 +1,94 @@
+"""Offered-load generation for iterative workload execution.
+
+Within each experiment "a workload can be executed iteratively"
+(Section V-A.1): batch and HPC workloads always saturate the servers,
+while interactive services see a diurnal request rate that follows the
+typical datacenter load pattern the paper takes from [13] (Fig. 6's
+demand curve).
+
+:class:`LoadGenerator` turns a normalised intensity pattern (a callable
+``time_s -> fraction`` in ``[0, 1]``) plus the workload kind into the
+offered load fraction for any simulation time, with optional seeded
+jitter so that consecutive epochs are not perfectly smooth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.catalog import Workload
+
+
+@dataclass(frozen=True)
+class OfferedLoad:
+    """Offered load at one instant.
+
+    Attributes
+    ----------
+    fraction:
+        Offered load as a fraction of the workload's full-rack maximum
+        throughput, in ``[0, 1]``.
+    time_s:
+        Simulation time the sample applies to.
+    """
+
+    fraction: float
+    time_s: float
+
+
+class LoadGenerator:
+    """Generates offered-load fractions over simulation time.
+
+    Parameters
+    ----------
+    workload:
+        Catalog entry; batch/HPC workloads always offer full load.
+    pattern:
+        Normalised diurnal intensity ``time_s -> [0, 1]`` used for
+        interactive workloads.  ``None`` selects a constant 1.0.
+    jitter:
+        Standard deviation of multiplicative load noise (interactive
+        only).  The result is clamped to ``[0, 1]``.
+    seed:
+        Seed for the jitter RNG; generation is deterministic per seed.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        pattern: Callable[[float], float] | None = None,
+        jitter: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        if jitter < 0:
+            raise ConfigurationError("jitter must be non-negative")
+        self.workload = workload
+        self._pattern = pattern
+        self._jitter = jitter
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def pattern(self) -> Callable[[float], float] | None:
+        """The normalised intensity pattern driving interactive load."""
+        return self._pattern
+
+    def at(self, time_s: float) -> OfferedLoad:
+        """Offered load at ``time_s``."""
+        if not self.workload.is_interactive or self._pattern is None:
+            return OfferedLoad(fraction=1.0, time_s=time_s)
+        base = float(self._pattern(time_s))
+        if not 0.0 <= base <= 1.0:
+            raise ConfigurationError(
+                f"load pattern returned {base} at t={time_s}; must be in [0, 1]"
+            )
+        if self._jitter > 0.0:
+            base *= 1.0 + self._jitter * float(self._rng.standard_normal())
+        return OfferedLoad(fraction=min(max(base, 0.0), 1.0), time_s=time_s)
+
+    def series(self, times_s: list[float] | np.ndarray) -> list[OfferedLoad]:
+        """Offered load at each time in ``times_s`` (in order)."""
+        return [self.at(float(t)) for t in times_s]

@@ -1,0 +1,262 @@
+"""Per-(workload, platform) ground-truth response parameters.
+
+The physical prototype in the paper measures, for each server
+configuration and workload, how throughput responds to the power the
+server is allowed to draw.  Our simulated substrate needs an equivalent
+ground truth.  Three workload-level knobs plus a platform capability
+score reproduce the qualitative behaviours the paper reports:
+
+``frequency_sensitivity`` (exponent ``a``)
+    Throughput scales as ``(f / f_base) ** a``.  Compute-bound kernels
+    (Streamcluster, Swaptions) have ``a`` near 1 — they reward every
+    extra watt — while memory- or network-bound workloads (Canneal,
+    Memcached) have small ``a`` and flatten early.  Because wall power
+    grows super-linearly in frequency, the resulting perf-vs-power curve
+    is concave with a plateau at the workload's maximum draw, which is
+    exactly the shape the paper's quadratic database fit assumes.
+
+``power_intensity``
+    Fraction of the platform's dynamic power envelope (peak - idle) the
+    workload exercises at full load.  Twitter-style interactive services
+    run at low CPU utilisation (Section III-C cites <20%), so their
+    maximum draw sits well below the platform peak.
+
+``gpu_speedup``
+    For Rodinia workloads: throughput multiplier of the Titan Xp over the
+    reference CPU (E5-2620).  Srad_v1 is highly GPU-friendly (the paper
+    observes up to 4.6x policy gain on Comb6), Cfd performs about the
+    same on CPU and GPU.
+
+Platform capability is ``cores * base_GHz * ipc_factor``, with per-
+generation IPC factors, optionally adjusted by a per-workload affinity
+table (e.g. SPECjbb mildly favours the high-clocked desktop parts, which
+is what makes the i5-4460 the energy-efficiency leader GreenHetero-p
+picks first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IncompatibleWorkloadError, UnknownWorkloadError
+from repro.servers.platform import DeviceClass, ServerSpec
+from repro.workloads.catalog import WORKLOADS, Workload, get_workload
+
+#: Per-generation instructions-per-cycle factor relative to Sandy Bridge.
+IPC_FACTOR: dict[str, float] = {
+    "E5-2620": 1.00,
+    "E5-2650": 1.05,
+    "E5-2603": 0.90,
+    "i7-8700K": 1.30,
+    "i5-4460": 1.10,
+    "TitanXp": 1.00,  # GPU throughput comes from gpu_speedup instead
+}
+
+#: Reference CPU platform used to anchor GPU speedups.
+REFERENCE_PLATFORM = "E5-2620"
+
+
+@dataclass(frozen=True)
+class WorkloadResponse:
+    """Ground-truth response parameters for one workload.
+
+    Attributes
+    ----------
+    workload:
+        Catalog name.
+    base_rate:
+        Throughput (in the workload's metric) per unit of platform
+        capability at full frequency.
+    frequency_sensitivity:
+        Exponent ``a`` of throughput vs relative frequency.
+    power_intensity:
+        Fraction of the dynamic power envelope drawn at full load.
+    gpu_speedup:
+        Titan Xp throughput relative to the reference CPU; ``None`` when
+        the workload has no GPU port.
+    affinity:
+        Optional per-platform throughput multipliers (default 1.0).
+    utilization_scale:
+        For interactive services: mean offered load as a fraction of
+        rack capacity.  Datacenter services run well below saturation
+        (Section III-C cites Twitter clusters under 20% CPU
+        utilisation); a low scale means the surviving servers can absorb
+        re-routed load, which is why heterogeneity-aware allocation
+        helps Memcached least (Fig. 9).  Ignored for batch workloads.
+    """
+
+    workload: str
+    base_rate: float
+    frequency_sensitivity: float
+    power_intensity: float
+    gpu_speedup: float | None = None
+    affinity: dict[str, float] = field(default_factory=dict)
+    utilization_scale: float = 1.0
+    single_threaded: bool = False
+
+    def capability(self, spec: ServerSpec) -> float:
+        """Abstract compute capability of ``spec`` for this workload.
+
+        Single-threaded workloads (SPECCPU's Mcf) see only one core, so
+        the high-clocked desktop parts beat the many-core Xeons.
+        """
+        ipc = IPC_FACTOR.get(spec.name, 1.0)
+        ghz = spec.base_frequency_hz / 1e9
+        cores = 1 if self.single_threaded else spec.cores
+        return cores * ghz * ipc * self.affinity.get(spec.name, 1.0)
+
+    def max_throughput(self, spec: ServerSpec) -> float:
+        """Full-frequency throughput of this workload on ``spec``.
+
+        Raises
+        ------
+        IncompatibleWorkloadError
+            If ``spec`` is a GPU and the workload has no GPU port.
+        """
+        if spec.device_class is DeviceClass.GPU:
+            if self.gpu_speedup is None:
+                raise IncompatibleWorkloadError(
+                    f"workload {self.workload!r} has no GPU port and cannot "
+                    f"run on {spec.name}"
+                )
+            from repro.servers.platform import get_platform
+
+            reference = get_platform(REFERENCE_PLATFORM)
+            return self.gpu_speedup * self.base_rate * self.capability(reference)
+        return self.base_rate * self.capability(spec)
+
+    def runs_on(self, spec: ServerSpec) -> bool:
+        """Whether this workload can execute on ``spec`` at all."""
+        return spec.device_class is DeviceClass.CPU or self.gpu_speedup is not None
+
+
+def _resp(
+    name: str,
+    base_rate: float,
+    a: float,
+    intensity: float,
+    gpu: float | None = None,
+    affinity: dict[str, float] | None = None,
+    util: float = 1.0,
+) -> WorkloadResponse:
+    return WorkloadResponse(
+        workload=name,
+        base_rate=base_rate,
+        frequency_sensitivity=a,
+        power_intensity=intensity,
+        gpu_speedup=gpu,
+        affinity=affinity or {},
+        utilization_scale=util,
+    )
+
+
+#: Calibrated response table.  ``base_rate`` magnitudes are per-metric and
+#: arbitrary; only ratios across platforms matter to the allocator.
+_RESPONSES: dict[str, WorkloadResponse] = {
+    r.workload: r
+    for r in (
+        # Interactive services.  SPECjbb is benchmark-driven near
+        # capacity and exercises most of the envelope; Web-search and
+        # Memcached run at datacenter-typical low utilisation and barely
+        # respond to frequency (network/memory bound), so the surviving
+        # servers can absorb their re-routed load — heterogeneity-aware
+        # allocation helps them least (Fig. 9: Memcached worst, ~1.2x).
+        _resp("SPECjbb", 1000.0, 0.80, 0.66, affinity={"i5-4460": 1.18, "i7-8700K": 1.10}),
+        _resp("Web-search", 120.0, 0.50, 0.52, util=0.70),
+        _resp("Memcached", 40000.0, 0.30, 0.42, util=0.50),
+        # PARSEC.  Streamcluster is memory-bandwidth hungry — the
+        # dual-socket Xeon's four channels make it the platform to feed
+        # first, so uniform allocation (which starves it) loses the most
+        # (best gain, ~2.2x).  Canneal is memory-bound with a flat
+        # response, making misallocated watts pure waste (best EPU gain,
+        # ~2.7x).
+        _resp(
+            "Streamcluster", 900.0, 0.97, 0.95, gpu=5.0,
+            affinity={"E5-2620": 1.25, "E5-2650": 1.15, "i5-4460": 0.80, "i7-8700K": 0.85},
+        ),
+        _resp("Freqmine", 750.0, 0.80, 0.90),
+        _resp("Blackscholes", 1200.0, 0.85, 0.88),
+        _resp("Bodytrack", 800.0, 0.80, 0.85),
+        _resp("Swaptions", 1100.0, 0.90, 0.92),
+        _resp("Vips", 950.0, 0.75, 0.87),
+        _resp("X264", 850.0, 0.80, 0.90),
+        # Canneal's simulated-annealing routing is memory-latency bound:
+        # the newer desktop parts' faster uncore wins, the many-core
+        # Xeons add little, and its frequency response is nearly flat —
+        # so watts sprayed uniformly at the Xeons are pure waste, giving
+        # the best EPU gain of the suite (Fig. 10).
+        _resp(
+            "Canneal", 500.0, 0.40, 0.35,
+            affinity={"E5-2620": 0.50, "E5-2650": 0.55, "i5-4460": 1.30, "i7-8700K": 1.40},
+        ),
+        # SPECCPU HPC representative: single-threaded pointer chasing —
+        # one busy core draws a modest fraction of the envelope and
+        # memory stalls flatten the frequency response, so the allocator
+        # has less leverage (Fig. 9 reports only ~1.3x for Mcf).
+        WorkloadResponse(
+            workload="Mcf",
+            base_rate=600.0,
+            frequency_sensitivity=0.55,
+            power_intensity=0.35,
+            single_threaded=True,
+        ),
+        # Rodinia kernels with GPU ports.  Srad_v1 is extremely
+        # GPU-friendly; Cfd performs about the same on CPU and GPU
+        # (Fig. 14: smallest gain).
+        _resp("Srad_v1", 700.0, 0.90, 0.90, gpu=11.0),
+        _resp("Particlefilter", 650.0, 0.85, 0.88, gpu=6.5),
+        _resp("Cfd", 720.0, 0.80, 0.90, gpu=1.25),
+    )
+}
+
+
+def response_for(workload: str | Workload) -> WorkloadResponse:
+    """The ground-truth response parameters for ``workload``.
+
+    Raises
+    ------
+    UnknownWorkloadError
+        If the workload is not in the catalog.
+    """
+    name = workload.name if isinstance(workload, Workload) else workload
+    canonical = get_workload(name).name  # validates + canonicalises case
+    try:
+        return _RESPONSES[canonical]
+    except KeyError:  # pragma: no cover - catalog and table kept in sync
+        raise UnknownWorkloadError(canonical, tuple(_RESPONSES)) from None
+
+
+def register_workload(workload: Workload, response: WorkloadResponse) -> None:
+    """Add a user-defined workload to the catalog and response table.
+
+    Lets adopters profile their own applications against the simulated
+    substrate.
+
+    Raises
+    ------
+    UnknownWorkloadError
+        If the catalog already has the name, or the catalog entry and
+        response disagree on it.
+    """
+    if workload.name in WORKLOADS:
+        raise UnknownWorkloadError(
+            f"workload {workload.name!r} already registered"
+        )
+    if response.workload != workload.name:
+        raise UnknownWorkloadError(
+            f"response is for {response.workload!r}, not {workload.name!r}"
+        )
+    WORKLOADS[workload.name] = workload
+    _RESPONSES[workload.name] = response
+
+
+def _check_tables_in_sync() -> None:
+    missing = set(WORKLOADS) - set(_RESPONSES)
+    extra = set(_RESPONSES) - set(WORKLOADS)
+    if missing or extra:  # pragma: no cover - import-time self check
+        raise UnknownWorkloadError(
+            f"response table out of sync with catalog: missing={missing}, extra={extra}"
+        )
+
+
+_check_tables_in_sync()

@@ -1,0 +1,79 @@
+"""Battery lifetime projection."""
+
+import pytest
+
+from repro.analysis.lifetime import (
+    CALENDAR_LIFE_YEARS,
+    LifetimeProjection,
+    project_lifetime,
+)
+from repro.errors import ConfigurationError
+from repro.power.battery import BatteryBank
+
+
+def cycled_bank(full_cycles: float) -> BatteryBank:
+    bank = BatteryBank()
+    per_cycle_wh = bank.depth_of_discharge * bank.capacity_wh
+    bank._discharged_wh_total = full_cycles * per_cycle_wh
+    return bank
+
+
+class TestProjection:
+    def test_paper_pace_is_calendar_limited(self):
+        # Two full-DoD cycles/day (the Low-trace pace): 1300 cycles last
+        # ~1.8 years -> cycle limited, not calendar limited.
+        projection = project_lifetime(cycled_bank(2.0), observed_days=1.0)
+        assert projection.cycles_per_day == pytest.approx(2.0)
+        assert projection.cycle_limited_years == pytest.approx(1300 / 2 / 365, rel=0.01)
+        assert not projection.calendar_limited
+
+    def test_gentle_cycling_hits_calendar_life(self):
+        projection = project_lifetime(cycled_bank(0.2), observed_days=1.0)
+        assert projection.calendar_limited
+        assert projection.projected_years == CALENDAR_LIFE_YEARS
+
+    def test_never_cycled(self):
+        projection = project_lifetime(BatteryBank(), observed_days=1.0)
+        assert projection.cycles_per_day == 0.0
+        assert projection.cycle_limited_years == float("inf")
+        assert projection.projected_years == CALENDAR_LIFE_YEARS
+
+    def test_cost_amortisation(self):
+        projection = project_lifetime(
+            cycled_bank(2.0), observed_days=1.0, unit_price_usd=100.0, units=10
+        )
+        assert projection.replacement_cost_per_year_usd == pytest.approx(
+            1000.0 / projection.projected_years
+        )
+
+    def test_faster_cycling_costs_more(self):
+        slow = project_lifetime(cycled_bank(1.0), 1.0)
+        fast = project_lifetime(cycled_bank(4.0), 1.0)
+        assert fast.replacement_cost_per_year_usd > slow.replacement_cost_per_year_usd
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            project_lifetime(BatteryBank(), observed_days=0.0)
+        with pytest.raises(ConfigurationError):
+            project_lifetime(BatteryBank(), 1.0, unit_price_usd=0.0)
+
+
+class TestEndToEnd:
+    def test_from_a_real_run(self):
+        from repro.core.policies import make_policy
+        from repro.sim.engine import Simulation
+        from repro.sim.experiment import ExperimentConfig
+
+        cfg = ExperimentConfig(days=1.0, policies=("GreenHetero",))
+        sim = Simulation.assemble(
+            policy=make_policy("GreenHetero"),
+            rack=cfg.build_rack(),
+            clock=cfg.build_clock(),
+            grid_budget_w=cfg.grid_budget_w,
+            seed=cfg.seed,
+        )
+        sim.run()
+        projection = project_lifetime(sim.controller.pdu.battery, observed_days=1.0)
+        # Paper: "relatively very small impact on the lifetime".
+        assert projection.projected_years > 1.0
+        assert projection.cycles_per_day < 3.0

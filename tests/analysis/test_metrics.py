@@ -1,0 +1,59 @@
+"""Analysis metric helpers."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    geometric_mean,
+    normalize_to_baseline,
+    summarize_gains,
+)
+from repro.errors import ConfigurationError
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single_value(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_below_arithmetic_mean(self):
+        values = [1.0, 2.0, 10.0]
+        assert geometric_mean(values) < sum(values) / 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestNormalize:
+    def test_normalizes(self):
+        out = normalize_to_baseline({"a": 10.0, "b": 20.0}, "a")
+        assert out == {"a": 1.0, "b": 2.0}
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalize_to_baseline({"a": 1.0}, "z")
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalize_to_baseline({"a": 0.0}, "a")
+
+
+class TestSummarize:
+    def test_summary(self):
+        gains = {"Memcached": 1.2, "Streamcluster": 2.2, "Mcf": 1.3}
+        out = summarize_gains(gains)
+        assert out["min"] == 1.2
+        assert out["max"] == 2.2
+        assert out["best_workload"] == "Streamcluster"
+        assert out["worst_workload"] == "Memcached"
+        assert 1.2 < out["mean"] < 2.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize_gains({})

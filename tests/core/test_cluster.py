@@ -1,0 +1,98 @@
+"""Cluster coordinator: shared-grid division across racks."""
+
+import pytest
+
+from repro.core.cluster import ClusterCoordinator, GridSplit
+from repro.core.controller import GreenHeteroController
+from repro.core.monitor import Monitor
+from repro.core.policies import make_policy
+from repro.errors import ConfigurationError, PowerError
+from repro.power.battery import BatteryBank
+from repro.power.grid import GridSource
+from repro.power.pdu import PDU
+from repro.power.solar import SolarFarm
+from repro.servers.rack import Rack
+from repro.traces.nrel import Weather, synthesize_irradiance
+
+MIDNIGHT = 0.0
+NOON = 12 * 3600.0
+
+
+def make_controller(weather=Weather.HIGH, seed=1, solar_peak=1900.0, soc=1.0):
+    rack = Rack([("E5-2620", 3), ("i5-4460", 3)], "Streamcluster")
+    trace = synthesize_irradiance(days=1, weather=weather, seed=seed)
+    pdu = PDU(
+        SolarFarm.sized_for(trace, solar_peak),
+        BatteryBank(count=2, initial_soc_fraction=soc),
+        GridSource(budget_w=0.0),
+    )
+    return GreenHeteroController(
+        rack=rack, pdu=pdu, policy=make_policy("GreenHetero"), monitor=Monitor(seed=seed)
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterCoordinator([], 1000.0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(PowerError):
+            ClusterCoordinator([make_controller()], -1.0)
+
+
+class TestEqualSplit:
+    def test_divides_evenly(self):
+        cluster = ClusterCoordinator(
+            [make_controller(seed=1), make_controller(seed=2)],
+            1000.0,
+            split=GridSplit.EQUAL,
+        )
+        assert cluster.grid_shares_w(MIDNIGHT) == [500.0, 500.0]
+
+
+class TestShortfallSplit:
+    def test_sunny_rack_cedes_grid(self):
+        # Rack A has huge solar at noon; rack B has none (tiny farm).
+        sunny = make_controller(seed=1, solar_peak=5000.0)
+        dark = make_controller(seed=2, solar_peak=1.0)
+        cluster = ClusterCoordinator([sunny, dark], 1000.0, split=GridSplit.SHORTFALL)
+        # Drain both batteries so shortfall is driven by renewables.
+        for c in (sunny, dark):
+            c.pdu.battery.soc_wh = c.pdu.battery.floor_wh
+        shares = cluster.grid_shares_w(NOON)
+        assert shares[1] > shares[0]
+        assert sum(shares) == pytest.approx(1000.0)
+
+    def test_no_shortfall_falls_back_to_equal(self):
+        a = make_controller(seed=1, solar_peak=50000.0)
+        b = make_controller(seed=2, solar_peak=50000.0)
+        cluster = ClusterCoordinator([a, b], 1000.0, split=GridSplit.SHORTFALL)
+        assert cluster.grid_shares_w(NOON) == [500.0, 500.0]
+
+
+class TestEpochExecution:
+    def test_runs_all_racks(self):
+        cluster = ClusterCoordinator(
+            [make_controller(seed=1), make_controller(seed=2)], 1500.0
+        )
+        records = cluster.run_epoch(NOON)
+        assert len(records) == 2
+        assert cluster.aggregate_throughput(records) > 0.0
+
+    def test_grid_budgets_applied(self):
+        a, b = make_controller(seed=1), make_controller(seed=2)
+        cluster = ClusterCoordinator([a, b], 1500.0, split=GridSplit.EQUAL)
+        cluster.run_epoch(MIDNIGHT)
+        assert a.pdu.grid.budget_w == pytest.approx(750.0)
+        assert b.pdu.grid.budget_w == pytest.approx(750.0)
+
+    def test_load_fraction_mismatch_rejected(self):
+        cluster = ClusterCoordinator([make_controller()], 1000.0)
+        with pytest.raises(ConfigurationError):
+            cluster.run_epoch(NOON, load_fractions=[1.0, 0.5])
+
+    def test_aggregate_requires_matching_records(self):
+        cluster = ClusterCoordinator([make_controller()], 1000.0)
+        with pytest.raises(ConfigurationError):
+            cluster.aggregate_throughput([])

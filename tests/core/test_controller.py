@@ -1,0 +1,148 @@
+"""The GreenHetero rack controller: one epoch end to end."""
+
+import pytest
+
+from repro.core.controller import GreenHeteroController, N_SUBSTEPS
+from repro.core.monitor import Monitor
+from repro.core.policies import make_policy
+from repro.core.sources import PowerCase
+from repro.errors import ConfigurationError
+from repro.power.battery import BatteryBank
+from repro.power.grid import GridSource
+from repro.power.pdu import PDU
+from repro.power.solar import SolarFarm
+from repro.servers.rack import Rack
+from repro.traces.nrel import Weather, synthesize_irradiance
+
+NOON = 12 * 3600.0
+MIDNIGHT = 0.0
+
+
+def make_controller(policy_name="GreenHetero", solar_peak=1900.0, grid_w=1000.0, seed=3):
+    rack = Rack([("E5-2620", 5), ("i5-4460", 5)], "SPECjbb")
+    trace = synthesize_irradiance(days=2, weather=Weather.HIGH, seed=seed)
+    pdu = PDU(
+        SolarFarm.sized_for(trace, solar_peak),
+        BatteryBank(),
+        GridSource(budget_w=grid_w),
+    )
+    return GreenHeteroController(
+        rack=rack, pdu=pdu, policy=make_policy(policy_name), monitor=Monitor(seed=seed)
+    )
+
+
+class TestEpochExecution:
+    def test_record_fields_consistent(self):
+        ctl = make_controller()
+        record = ctl.run_epoch(NOON)
+        assert record.time_s == NOON
+        assert record.case in (PowerCase.A, PowerCase.B, PowerCase.C)
+        assert 0.0 <= record.epu <= 1.0
+        assert record.throughput >= 0.0
+        assert len(record.ratios) == 2
+        assert sum(record.ratios) <= 1.0 + 1e-9
+        assert record.group_budgets_w == pytest.approx(
+            tuple(r * record.budget_w for r in record.ratios)
+        )
+
+    def test_first_epoch_runs_training(self):
+        ctl = make_controller("GreenHetero")
+        record = ctl.run_epoch(NOON)
+        assert set(record.trained_pairs) == {
+            ("E5-2620", "SPECjbb"),
+            ("i5-4460", "SPECjbb"),
+        }
+
+    def test_training_only_once(self):
+        ctl = make_controller("GreenHetero")
+        ctl.run_epoch(NOON)
+        record = ctl.run_epoch(NOON + 900.0)
+        assert record.trained_pairs == ()
+
+    def test_uniform_policy_never_trains(self):
+        ctl = make_controller("Uniform")
+        record = ctl.run_epoch(NOON)
+        assert record.trained_pairs == ()
+        assert len(ctl.scheduler.database) == 0
+
+    def test_manual_policy_gets_oracle(self):
+        ctl = make_controller("Manual")
+        record = ctl.run_epoch(NOON)
+        assert sum(record.ratios) == pytest.approx(1.0)
+
+    def test_database_grows_under_adaptive_policy(self):
+        ctl = make_controller("GreenHetero")
+        ctl.run_epoch(NOON)
+        key = ("E5-2620", "SPECjbb")
+        after_training = ctl.scheduler.database.sample_count(key)
+        ctl.run_epoch(NOON + 900.0)
+        assert ctl.scheduler.database.sample_count(key) > after_training
+
+    def test_database_frozen_under_static_policy(self):
+        ctl = make_controller("GreenHetero-a")
+        ctl.run_epoch(NOON)
+        key = ("E5-2620", "SPECjbb")
+        after_training = ctl.scheduler.database.sample_count(key)
+        ctl.run_epoch(NOON + 900.0)
+        assert ctl.scheduler.database.sample_count(key) == after_training
+
+    def test_night_uses_battery(self):
+        ctl = make_controller()
+        record = ctl.run_epoch(MIDNIGHT)
+        assert record.case is PowerCase.C
+        assert record.battery_to_load_w > 0.0
+
+    def test_noon_uses_renewable(self):
+        ctl = make_controller()
+        record = ctl.run_epoch(NOON)
+        assert record.renewable_to_load_w > 0.0
+
+    def test_bad_load_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_controller().run_epoch(NOON, load_fraction=1.5)
+
+    def test_bad_epoch_length_rejected(self):
+        rack = Rack([("i5-4460", 2)], "SPECjbb")
+        trace = synthesize_irradiance(days=1, seed=1)
+        pdu = PDU(SolarFarm.sized_for(trace, 300.0), BatteryBank(), GridSource())
+        with pytest.raises(ConfigurationError):
+            GreenHeteroController(rack, pdu, make_policy("Uniform"), epoch_s=0.0)
+
+
+class TestEnergyAccounting:
+    def test_epu_consistent_with_useful_power(self):
+        ctl = make_controller()
+        record = ctl.run_epoch(NOON)
+        if record.budget_w > 0:
+            assert record.epu == pytest.approx(
+                min(record.useful_power_w / record.budget_w, 1.0)
+            )
+
+    def test_battery_soc_decreases_overnight(self):
+        ctl = make_controller()
+        before = ctl.pdu.battery.soc_wh
+        record = ctl.run_epoch(MIDNIGHT)
+        assert record.battery_soc_wh < before
+
+    def test_budget_override_forces_budget(self):
+        ctl = make_controller()
+        ctl.budget_override = lambda t, d: 700.0
+        record = ctl.run_epoch(NOON)
+        assert record.budget_w == 700.0
+        assert record.case is PowerCase.B
+
+
+class TestLoadBalancing:
+    def test_offered_load_reroutes_to_survivors(self):
+        # At a budget where uniform sleeps the Xeons, interactive load
+        # must still be served by the i5s (low offered load).
+        ctl = make_controller("Uniform")
+        ctl.budget_override = lambda t, d: 700.0  # 70 W/server: E5s sleep
+        record = ctl.run_epoch(NOON, load_fraction=0.2)
+        assert record.throughput > 0.0
+
+    def test_measure_rack_matches_manual_oracle_shape(self):
+        ctl = make_controller("GreenHetero")
+        full = ctl._measure_rack((5 * 150.0, 5 * 80.0), 1.0)
+        half = ctl._measure_rack((5 * 150.0, 5 * 80.0), 0.4)
+        assert 0.0 < half < full

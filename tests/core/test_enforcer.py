@@ -1,0 +1,98 @@
+"""Enforcer: SPC state mapping and PSC flow execution."""
+
+import pytest
+
+from repro.core.enforcer import Enforcer, ServerPowerController
+from repro.core.sources import PowerCase, SourceDecision
+from repro.errors import PowerError
+from repro.power.battery import BatteryBank
+from repro.power.grid import GridSource
+from repro.power.pdu import PDU
+from repro.power.solar import SolarFarm
+from repro.servers.rack import Rack
+from repro.traces.nrel import Weather, synthesize_irradiance
+
+
+@pytest.fixture
+def servers():
+    rack = Rack([("E5-2620", 2), ("i5-4460", 3)], "SPECjbb")
+    return rack.build_servers()
+
+
+class TestSPC:
+    def test_splits_group_budget_evenly(self, servers):
+        enforced = ServerPowerController.apply(servers, (260.0, 210.0))
+        assert enforced.per_server_budget_w == pytest.approx((130.0, 70.0))
+
+    def test_all_servers_in_group_share_state(self, servers):
+        ServerPowerController.apply(servers, (260.0, 210.0))
+        for group in servers:
+            states = {s.state.index for s in group}
+            assert len(states) == 1
+
+    def test_zero_budget_turns_group_off(self, servers):
+        enforced = ServerPowerController.apply(servers, (0.0, 210.0))
+        assert enforced.state_indices[0] == 0  # OFF
+        assert servers[0][0].state.is_off
+
+    def test_below_min_active_sleeps(self, servers):
+        # 2 E5-2620 at 40 W each cannot run: SLEEP state.
+        enforced = ServerPowerController.apply(servers, (80.0, 210.0))
+        assert enforced.state_indices[0] == 1
+
+    def test_negative_budget_rejected(self, servers):
+        with pytest.raises(PowerError):
+            ServerPowerController.apply(servers, (-10.0, 210.0))
+
+    def test_length_mismatch_rejected(self, servers):
+        with pytest.raises(PowerError):
+            ServerPowerController.apply(servers, (100.0,))
+
+    def test_enforced_draw_fits_budget(self, servers):
+        budgets = (260.0, 210.0)
+        ServerPowerController.apply(servers, budgets)
+        for group, budget in zip(servers, budgets):
+            total_draw = sum(s.run().power_w for s in group)
+            assert total_draw <= budget + 1e-6
+
+
+class TestPSC:
+    def test_executes_decision_against_pdu(self):
+        trace = synthesize_irradiance(days=1, seed=8)
+        pdu = PDU(
+            SolarFarm.sized_for(trace, 1500.0),
+            BatteryBank(),
+            GridSource(budget_w=1000.0),
+        )
+        enforcer = Enforcer(pdu)
+        decision = SourceDecision(
+            case=PowerCase.C,
+            rack_budget_w=800.0,
+            use_battery=True,
+            grid_charges_battery=False,
+            predicted_renewable_w=0.0,
+            predicted_demand_w=800.0,
+        )
+        flows = enforcer.psc.apply(decision, actual_load_w=750.0, time_s=0.0, duration_s=900.0)
+        assert flows.delivered_w == pytest.approx(750.0)
+        assert flows.breakdown.battery_to_load_w == pytest.approx(750.0)
+
+    def test_battery_disabled_routes_to_grid(self):
+        trace = synthesize_irradiance(days=1, seed=8)
+        pdu = PDU(
+            SolarFarm.sized_for(trace, 1500.0),
+            BatteryBank(),
+            GridSource(budget_w=1000.0),
+        )
+        enforcer = Enforcer(pdu)
+        decision = SourceDecision(
+            case=PowerCase.C,
+            rack_budget_w=800.0,
+            use_battery=False,
+            grid_charges_battery=True,
+            predicted_renewable_w=0.0,
+            predicted_demand_w=800.0,
+        )
+        flows = enforcer.psc.apply(decision, 750.0, 0.0, 900.0)
+        assert flows.breakdown.battery_to_load_w == 0.0
+        assert flows.breakdown.grid_to_load_w == pytest.approx(750.0)

@@ -1,0 +1,63 @@
+"""Effective Power Utilization metric (Eq. 1)."""
+
+import pytest
+
+from repro.core.epu import effective_power_utilization, useful_power
+from repro.errors import PowerError
+
+
+class TestUsefulPower:
+    def test_counts_only_productive_servers(self):
+        draws = [100.0, 50.0, 3.0]
+        perfs = [10.0, 0.0, 0.0]
+        assert useful_power(draws, perfs) == 100.0
+
+    def test_all_productive(self):
+        assert useful_power([10.0, 20.0], [1.0, 1.0]) == 30.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(PowerError):
+            useful_power([1.0], [1.0, 2.0])
+
+    def test_negative_draw_rejected(self):
+        with pytest.raises(PowerError):
+            useful_power([-1.0], [1.0])
+
+
+class TestEPU:
+    def test_scalar_form(self):
+        assert effective_power_utilization(86.0, 100.0) == pytest.approx(0.86)
+
+    def test_iterable_form(self):
+        assert effective_power_utilization([40.0, 46.0], [50.0, 50.0]) == pytest.approx(
+            0.86
+        )
+
+    def test_perfect_utilization(self):
+        assert effective_power_utilization(220.0, 220.0) == 1.0
+
+    def test_zero_supply_is_zero(self):
+        assert effective_power_utilization(0.0, 0.0) == 0.0
+
+    def test_bounded_at_one(self):
+        # Floating-point slop must not push EPU above 1.
+        assert effective_power_utilization(100.0 + 1e-10, 100.0) == 1.0
+
+    def test_throughput_exceeding_supply_rejected(self):
+        with pytest.raises(PowerError):
+            effective_power_utilization(150.0, 100.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(PowerError):
+            effective_power_utilization(-1.0, 100.0)
+
+    def test_case_study_uniform_epu(self):
+        # Section III-B: uniform allocation of a 220 W budget yields
+        # ~86% EPU (A draws ~110 W, B capped at ~81 W).
+        assert effective_power_utilization(110.0 + 81.0, 220.0) == pytest.approx(
+            0.868, abs=0.01
+        )
+
+    def test_case_study_all_to_small_server(self):
+        # PAR = 0: everything to the i5, which uses only ~81 W -> ~37%.
+        assert effective_power_utilization(81.0, 220.0) == pytest.approx(0.368, abs=0.01)

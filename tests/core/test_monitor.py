@@ -1,0 +1,67 @@
+"""Monitor: seeded noisy sensing."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import Monitor
+from repro.errors import ConfigurationError
+from repro.servers.power_model import ServerSample
+
+
+def sample(power=100.0, perf=5000.0):
+    return ServerSample(power_w=power, throughput=perf, state_index=5, utilization=0.8)
+
+
+class TestNoise:
+    def test_deterministic_per_seed(self):
+        m1, m2 = Monitor(seed=3), Monitor(seed=3)
+        o1 = m1.observe_server(sample(), 0, 0.0)
+        o2 = m2.observe_server(sample(), 0, 0.0)
+        assert o1.power_w == o2.power_w
+        assert o1.throughput == o2.throughput
+
+    def test_different_seeds_differ(self):
+        o1 = Monitor(seed=1).observe_server(sample(), 0, 0.0)
+        o2 = Monitor(seed=2).observe_server(sample(), 0, 0.0)
+        assert o1.power_w != o2.power_w
+
+    def test_zero_noise_is_exact(self):
+        m = Monitor(power_noise=0.0, perf_noise=0.0, renewable_noise=0.0)
+        obs = m.observe_server(sample(), 1, 10.0)
+        assert obs.power_w == 100.0
+        assert obs.throughput == 5000.0
+        assert m.observe_renewable(750.0) == 750.0
+        assert m.observe_demand(900.0) == 900.0
+
+    def test_noise_centered_on_truth(self):
+        m = Monitor(power_noise=0.05, seed=0)
+        readings = [m.observe_server(sample(), 0, 0.0).power_w for _ in range(500)]
+        assert np.mean(readings) == pytest.approx(100.0, rel=0.02)
+        assert np.std(readings) == pytest.approx(5.0, rel=0.25)
+
+    def test_never_negative(self):
+        m = Monitor(power_noise=1.0, perf_noise=1.0, seed=0)  # huge noise
+        for _ in range(200):
+            obs = m.observe_server(sample(), 0, 0.0)
+            assert obs.power_w >= 0.0
+            assert obs.throughput >= 0.0
+
+    def test_zero_value_stays_zero(self):
+        m = Monitor(seed=0)
+        obs = m.observe_server(ServerSample(0.0, 0.0, 0, 0.0), 0, 0.0)
+        assert obs.power_w == 0.0
+        assert obs.throughput == 0.0
+
+    def test_state_index_exact(self):
+        obs = Monitor(seed=0).observe_server(sample(), 2, 5.0)
+        assert obs.state_index == 5
+        assert obs.group_index == 2
+        assert obs.time_s == 5.0
+
+    def test_observe_throughput(self):
+        m = Monitor(perf_noise=0.0)
+        assert m.observe_throughput(42.0) == 42.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Monitor(power_noise=-0.1)

@@ -1,0 +1,135 @@
+"""Holt double-exponential-smoothing predictor (Eq. 2-5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.predictor import HoltPredictor
+from repro.errors import ConfigurationError
+
+
+class TestEquations:
+    def test_first_observation_seeds_level(self):
+        p = HoltPredictor(alpha=0.5, beta=0.5)
+        p.observe(10.0)
+        assert p.level == 10.0
+        assert p.trend == 0.0
+
+    def test_recurrence_matches_paper(self):
+        alpha, beta = 0.6, 0.3
+        p = HoltPredictor(alpha=alpha, beta=beta, nonnegative=False)
+        p.observe(10.0)
+        p.observe(14.0)
+        p.observe(15.0)
+        # Manual Eq. 2-3 with the standard initialisation S_1 after
+        # absorbing O_1=14 with B_0 = O_1 - O_0 = 4:
+        s1 = alpha * 14.0 + (1 - alpha) * (10.0 + 4.0)
+        b1 = beta * (s1 - 10.0) + (1 - beta) * 4.0
+        s2 = alpha * 15.0 + (1 - alpha) * (s1 + b1)
+        b2 = beta * (s2 - s1) + (1 - beta) * b1
+        assert p.level == pytest.approx(s2)
+        assert p.trend == pytest.approx(b2)
+        assert p.predict() == pytest.approx(s2 + b2)
+
+    def test_horizon_extrapolates_trend(self):
+        p = HoltPredictor(alpha=1.0, beta=1.0, nonnegative=False)
+        for v in (0.0, 1.0, 2.0, 3.0):
+            p.observe(v)
+        assert p.predict(1) == pytest.approx(4.0)
+        assert p.predict(3) == pytest.approx(6.0)
+
+    def test_tracks_linear_series_exactly(self):
+        p = HoltPredictor(alpha=0.8, beta=0.8)
+        for v in np.arange(0.0, 50.0, 2.0):
+            p.observe(float(v))
+        assert p.predict() == pytest.approx(50.0, abs=0.5)
+
+    def test_nonnegative_clamp(self):
+        p = HoltPredictor(alpha=1.0, beta=1.0, nonnegative=True)
+        p.observe(10.0)
+        p.observe(1.0)
+        p.observe(0.0)
+        assert p.predict() == 0.0
+
+    def test_without_clamp_can_go_negative(self):
+        p = HoltPredictor(alpha=1.0, beta=1.0, nonnegative=False)
+        p.observe(10.0)
+        p.observe(1.0)
+        p.observe(0.0)
+        assert p.predict() < 0.0
+
+
+class TestLifecycle:
+    def test_predict_before_observe_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HoltPredictor().predict()
+
+    def test_bad_horizon_rejected(self):
+        p = HoltPredictor()
+        p.observe(1.0)
+        with pytest.raises(ConfigurationError):
+            p.predict(0)
+
+    def test_ready_flag(self):
+        p = HoltPredictor()
+        assert not p.ready
+        p.observe(1.0)
+        assert p.ready
+
+    def test_reset_keeps_constants(self):
+        p = HoltPredictor(alpha=0.7, beta=0.2)
+        p.observe(5.0)
+        p.reset()
+        assert not p.ready
+        assert p.alpha == 0.7
+
+    @pytest.mark.parametrize("alpha,beta", [(-0.1, 0.5), (1.1, 0.5), (0.5, -0.1), (0.5, 2.0)])
+    def test_bad_constants_rejected(self, alpha, beta):
+        with pytest.raises(ConfigurationError):
+            HoltPredictor(alpha=alpha, beta=beta)
+
+
+class TestTraining:
+    """Eq. 5: alpha/beta minimise squared one-step error."""
+
+    def _solar_like(self, n=96):
+        t = np.arange(n)
+        return np.maximum(0.0, np.sin((t - 24) * np.pi / 48)) * 1000.0
+
+    def test_sse_computes(self):
+        history = self._solar_like()
+        assert HoltPredictor.sse(history, 0.5, 0.3) > 0.0
+
+    def test_sse_needs_history(self):
+        with pytest.raises(ConfigurationError):
+            HoltPredictor.sse([1.0, 2.0], 0.5, 0.5)
+
+    def test_fit_beats_default_constants(self):
+        history = self._solar_like()
+        fitted = HoltPredictor.fit(history)
+        fitted_sse = HoltPredictor.sse(history, fitted.alpha, fitted.beta)
+        default_sse = HoltPredictor.sse(history, 0.5, 0.3)
+        assert fitted_sse <= default_sse + 1e-9
+
+    def test_fit_primes_state(self):
+        fitted = HoltPredictor.fit(self._solar_like())
+        assert fitted.ready
+        assert fitted.predict() >= 0.0
+
+    def test_fit_constants_in_bounds(self):
+        fitted = HoltPredictor.fit(self._solar_like())
+        assert 0.0 <= fitted.alpha <= 1.0
+        assert 0.0 <= fitted.beta <= 1.0
+
+    def test_fit_needs_history(self):
+        with pytest.raises(ConfigurationError):
+            HoltPredictor.fit([1.0, 2.0])
+
+    def test_fitted_predictor_tracks_solar_ramp(self):
+        # One-step forecasts of a smooth solar ramp should be close.
+        history = self._solar_like()
+        p = HoltPredictor.fit(history[:48])
+        errors = []
+        for obs in history[48:72]:
+            errors.append(abs(p.predict() - obs))
+            p.observe(float(obs))
+        assert np.mean(errors) < 100.0  # within 10% of the 1 kW peak

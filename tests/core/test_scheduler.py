@@ -1,0 +1,105 @@
+"""The Adaptive Scheduler (Fig. 5)."""
+
+import pytest
+
+from repro.core.database import ProfilingDatabase
+from repro.core.monitor import ServerObservation
+from repro.core.policies import GroupInfo, UniformPolicy, make_policy
+from repro.core.scheduler import AdaptiveScheduler
+from repro.core.sources import PowerCase
+from repro.errors import ConfigurationError
+from repro.power.battery import BatteryBank
+from repro.power.grid import GridSource
+
+E5_KEY = ("E5-2620", "SPECjbb")
+I5_KEY = ("i5-4460", "SPECjbb")
+GROUPS = (GroupInfo("E5-2620", 5, E5_KEY), GroupInfo("i5-4460", 5, I5_KEY))
+
+TRAIN_E5 = [(100.0, 11000.0), (112.0, 15500.0), (125.0, 19000.0), (150.0, 24000.0)]
+TRAIN_I5 = [(55.0, 7300.0), (61.0, 10300.0), (67.0, 12800.0), (80.0, 16600.0)]
+
+
+def make_scheduler(policy_name="GreenHetero"):
+    return AdaptiveScheduler(make_policy(policy_name))
+
+
+class TestPrediction:
+    def test_forecast_requires_history(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler().forecast()
+
+    def test_observe_then_forecast(self):
+        s = make_scheduler()
+        s.observe(500.0, 1000.0)
+        renewable, demand = s.forecast()
+        assert renewable == pytest.approx(500.0)
+        assert demand == pytest.approx(1000.0)
+
+    def test_pretrain_fits_constants(self):
+        s = make_scheduler()
+        ramp = [float(i * 10) for i in range(40)]
+        s.pretrain_predictors(ramp, [1000.0] * 40)
+        renewable, demand = s.forecast()
+        assert renewable == pytest.approx(400.0, abs=20.0)
+        assert demand == pytest.approx(1000.0, abs=10.0)
+
+
+class TestSourcePlanning:
+    def test_plan_sources_uses_forecasts(self):
+        s = make_scheduler()
+        s.observe(2000.0, 1000.0)
+        decision = s.plan_sources(BatteryBank(), GridSource(), 900.0)
+        assert decision.case is PowerCase.A
+
+
+class TestDatabaseFlow:
+    def test_missing_pairs_before_training(self):
+        s = make_scheduler()
+        assert s.missing_pairs(GROUPS) == [E5_KEY, I5_KEY]
+
+    def test_ingest_clears_missing(self):
+        s = make_scheduler()
+        s.ingest_training_run(E5_KEY, 88.0, TRAIN_E5)
+        assert s.missing_pairs(GROUPS) == [I5_KEY]
+
+    def test_feedback_updates_database_when_enabled(self):
+        s = make_scheduler("GreenHetero")
+        s.ingest_training_run(E5_KEY, 88.0, TRAIN_E5)
+        before = s.database.sample_count(E5_KEY)
+        obs = [ServerObservation(0, 120.0, 17000.0, 8, 0.0)]
+        s.feed_back(obs, GROUPS)
+        assert s.database.sample_count(E5_KEY) == before + 1
+
+    def test_feedback_noop_for_static_policy(self):
+        s = make_scheduler("GreenHetero-a")
+        s.ingest_training_run(E5_KEY, 88.0, TRAIN_E5)
+        before = s.database.sample_count(E5_KEY)
+        s.feed_back([ServerObservation(0, 120.0, 17000.0, 8, 0.0)], GROUPS)
+        assert s.database.sample_count(E5_KEY) == before
+
+    def test_zero_throughput_feedback_skipped(self):
+        s = make_scheduler("GreenHetero")
+        s.ingest_training_run(E5_KEY, 88.0, TRAIN_E5)
+        before = s.database.sample_count(E5_KEY)
+        s.feed_back([ServerObservation(0, 3.0, 0.0, 1, 0.0)], GROUPS)
+        assert s.database.sample_count(E5_KEY) == before
+
+
+class TestAllocation:
+    def test_allocate_delegates_to_policy(self):
+        s = AdaptiveScheduler(UniformPolicy())
+        ratios = s.allocate(1000.0, GROUPS)
+        assert ratios == pytest.approx((0.5, 0.5))
+
+    def test_allocate_with_solver_policy(self):
+        s = make_scheduler("GreenHetero")
+        s.ingest_training_run(E5_KEY, 88.0, TRAIN_E5)
+        s.ingest_training_run(I5_KEY, 47.0, TRAIN_I5)
+        ratios = s.allocate(1000.0, GROUPS)
+        assert sum(ratios) <= 1.0 + 1e-9
+        assert all(r >= 0 for r in ratios)
+
+    def test_default_components_created(self):
+        s = AdaptiveScheduler(UniformPolicy())
+        assert isinstance(s.database, ProfilingDatabase)
+        assert s.selector is not None

@@ -1,0 +1,209 @@
+"""The PAR solver (Eq. 6-8)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.database import FitKind, PerfPowerFit
+from repro.core.solver import GroupModel, PARSolver
+from repro.errors import SolverError
+
+
+def make_fit(l, m, n, lo, hi):
+    return PerfPowerFit(coefficients=(l, m, n), min_power_w=lo, max_power_w=hi)
+
+
+def concave_group(name="A", count=5, t_max=100.0, lo=95.0, hi=150.0):
+    """A concave quadratic peaking exactly at hi."""
+    # f(p) = t_max * (1 - ((hi - p)/(hi - lo))^2), scaled so f(hi) = t_max.
+    span = hi - lo
+    l = -t_max / span**2
+    m = 2 * t_max * hi / span**2
+    n = t_max - t_max * hi**2 / span**2
+    return GroupModel(name=name, count=count, fit=make_fit(l, m, n, lo, hi))
+
+
+@pytest.fixture
+def solver():
+    return PARSolver(safety_margin=0.0)
+
+
+class TestBasics:
+    def test_zero_budget(self, solver):
+        sol = solver.solve([concave_group()], 0.0)
+        assert sol.ratios == (0.0,)
+        assert sol.expected_perf == 0.0
+
+    def test_budget_below_power_on(self, solver):
+        g = concave_group(count=5, lo=95.0)
+        sol = solver.solve([g], 400.0)  # 5 * 95 = 475 needed
+        assert sol.expected_perf == 0.0
+
+    def test_abundant_budget_saturates(self, solver):
+        g = concave_group(count=5, t_max=100.0, hi=150.0)
+        sol = solver.solve([g], 10000.0)
+        assert sol.expected_perf == pytest.approx(500.0, rel=0.01)
+        assert sol.per_server_w[0] == pytest.approx(150.0)
+
+    def test_never_over_allocates_beyond_plateau(self, solver):
+        g = concave_group(count=5, hi=150.0)
+        sol = solver.solve([g], 10000.0)
+        # Surplus stays unallocated (flows to the battery per the paper).
+        assert sum(sol.ratios) < 1.0
+
+    def test_ratios_sum_at_most_one(self, solver):
+        groups = [concave_group("A", 5), concave_group("B", 5, t_max=50.0, lo=50.0, hi=80.0)]
+        for budget in (500.0, 800.0, 1200.0, 2000.0):
+            sol = solver.solve(groups, budget)
+            assert sum(sol.ratios) <= 1.0 + 1e-9
+
+    def test_allocation_feasible(self, solver):
+        groups = [concave_group("A", 5), concave_group("B", 5, t_max=50.0, lo=50.0, hi=80.0)]
+        for budget in (500.0, 700.0, 900.0, 1150.0):
+            sol = solver.solve(groups, budget)
+            total = sum(g.count * p for g, p in zip(groups, sol.per_server_w))
+            assert total <= budget + 1e-6
+
+    def test_empty_groups_rejected(self, solver):
+        with pytest.raises(SolverError):
+            solver.solve([], 100.0)
+
+    def test_negative_budget_rejected(self, solver):
+        with pytest.raises(SolverError):
+            solver.solve([concave_group()], -1.0)
+
+    def test_too_many_groups_rejected(self):
+        solver = PARSolver(max_groups=2)
+        groups = [concave_group(str(i)) for i in range(3)]
+        with pytest.raises(SolverError):
+            solver.solve(groups, 1000.0)
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(SolverError):
+            PARSolver(granularity=0.0)
+        with pytest.raises(SolverError):
+            PARSolver(safety_margin=-0.1)
+
+
+class TestOptimality:
+    """KKT + grid must match brute force on quadratic instances."""
+
+    def _brute_force(self, groups, budget, steps=400):
+        best = 0.0
+        if len(groups) == 2:
+            g0, g1 = groups
+            for eta in np.linspace(0, 1, steps + 1):
+                p0 = eta * budget / g0.count
+                p1 = (1 - eta) * budget / g1.count
+                for q0 in (0.0, min(p0, g0.fit.max_power_w)):
+                    for q1 in (0.0, min(p1, g1.fit.max_power_w)):
+                        perf = g0.count * g0.fit.predict(q0) + g1.count * g1.fit.predict(q1)
+                        best = max(best, perf)
+        return best
+
+    def test_matches_brute_force_two_groups(self, solver):
+        groups = [
+            concave_group("A", 5, t_max=100.0, lo=95.0, hi=150.0),
+            concave_group("B", 5, t_max=60.0, lo=52.0, hi=80.0),
+        ]
+        for budget in (550.0, 700.0, 900.0, 1100.0, 1200.0):
+            sol = solver.solve(groups, budget)
+            brute = self._brute_force(groups, budget)
+            assert sol.expected_perf >= brute * 0.995
+
+    def test_water_filling_equalises_marginals(self, solver):
+        # With both groups strictly interior, marginal perf/W must match.
+        groups = [
+            concave_group("A", 1, t_max=100.0, lo=50.0, hi=200.0),
+            concave_group("B", 1, t_max=80.0, lo=50.0, hi=200.0),
+        ]
+        sol = solver.solve(groups, 250.0)
+        pa, pb = sol.per_server_w
+        if 50.0 < pa < 200.0 and 50.0 < pb < 200.0:
+            da = groups[0].fit.derivative(pa)
+            db = groups[1].fit.derivative(pb)
+            assert da == pytest.approx(db, rel=0.05)
+
+    def test_prefers_efficient_group(self, solver):
+        fast = concave_group("fast", 5, t_max=200.0, lo=50.0, hi=80.0)
+        slow = concave_group("slow", 5, t_max=20.0, lo=95.0, hi=150.0)
+        sol = solver.solve([fast, slow], 400.0)
+        # Budget fits the fast group exactly; powering slow instead or
+        # splitting below fast's saturation would lose throughput.
+        assert sol.per_server_w[0] == pytest.approx(80.0, rel=0.02)
+        assert sol.expected_perf == pytest.approx(1000.0, rel=0.02)
+
+    def test_powers_off_group_when_better(self, solver):
+        # 500 W: either 5 "big" at their 95 W minimum (tiny perf) or
+        # 5 "small" saturated (big perf).  The solver must switch the
+        # big group off.
+        big = concave_group("big", 5, t_max=10.0, lo=95.0, hi=150.0)
+        small = concave_group("small", 5, t_max=100.0, lo=52.0, hi=80.0)
+        sol = solver.solve([big, small], 450.0)
+        assert sol.per_server_w[0] == 0.0
+        assert sol.per_server_w[1] > 0.0
+
+    def test_three_groups(self, solver):
+        groups = [
+            concave_group("A", 5, t_max=100.0, lo=95.0, hi=150.0),
+            concave_group("B", 5, t_max=40.0, lo=58.0, hi=75.0),
+            concave_group("C", 5, t_max=60.0, lo=52.0, hi=80.0),
+        ]
+        sol = solver.solve(groups, 1000.0)
+        assert sol.expected_perf > 0.0
+        total = sum(g.count * p for g, p in zip(groups, sol.per_server_w))
+        assert total <= 1000.0 + 1e-6
+
+    def test_non_concave_fit_handled_by_grid(self, solver):
+        # A convex (bowl) fit from degenerate samples: optimum at a box
+        # corner; the grid safety net must still find something sane.
+        convex = GroupModel("X", 2, make_fit(0.5, -50.0, 2000.0, 60.0, 100.0))
+        sol = solver.solve([convex], 200.0)
+        assert sol.expected_perf == pytest.approx(2 * convex.fit.predict(100.0), rel=0.05)
+
+
+class TestSafetyMargin:
+    def test_margin_lifts_lower_bound(self):
+        solver = PARSolver(safety_margin=0.10)
+        g = concave_group("A", 1, lo=100.0, hi=200.0)
+        sol = solver.solve([g], 105.0)
+        # 105 < 100 * 1.10: the margin forbids powering this server.
+        assert sol.expected_perf == 0.0
+
+    def test_margin_respected_in_allocations(self):
+        solver = PARSolver(safety_margin=0.05)
+        g = concave_group("A", 1, lo=100.0, hi=200.0)
+        sol = solver.solve([g], 500.0)
+        assert sol.per_server_w[0] >= 100.0 * 1.05 - 1e-9
+
+
+class TestCompositions:
+    def test_ten_percent_grid_size(self):
+        # Compositions of 10 steps into 2 groups: 11 vectors.
+        assert len(PARSolver.compositions(2, 0.1)) == 11
+
+    def test_three_groups_composition_count(self):
+        # Stars and bars: C(10 + 2, 2) = 66.
+        assert len(PARSolver.compositions(3, 0.1)) == 66
+
+    def test_all_sum_to_one(self):
+        for ratios in PARSolver.compositions(3, 0.1):
+            assert sum(ratios) == pytest.approx(1.0)
+
+    def test_bad_granularity_rejected(self):
+        with pytest.raises(SolverError):
+            PARSolver.compositions(2, 0.3)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(SolverError):
+            PARSolver.compositions(0, 0.1)
+
+    def test_exhaustive_finds_best(self):
+        # Objective peaked at (0.6, 0.4).
+        def objective(ratios):
+            return -abs(ratios[0] - 0.6)
+
+        best, value = PARSolver.exhaustive(2, objective, 0.1)
+        assert best == pytest.approx((0.6, 0.4))
+        assert value == pytest.approx(0.0)

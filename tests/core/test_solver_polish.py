@@ -1,0 +1,74 @@
+"""SLSQP polish stage of the PAR solver."""
+
+import pytest
+
+from repro.core.database import PerfPowerFit
+from repro.core.solver import GroupModel, PARSolver
+
+
+def concave(t_max, lo, hi):
+    span = hi - lo
+    l = -t_max / span**2
+    m = 2 * t_max * hi / span**2
+    n = t_max - t_max * hi**2 / span**2
+    return PerfPowerFit(coefficients=(l, m, n), min_power_w=lo, max_power_w=hi)
+
+
+THREE_GROUPS = [
+    GroupModel("A", 5, concave(100.0, 95.0, 150.0)),
+    GroupModel("B", 5, concave(40.0, 58.0, 75.0)),
+    GroupModel("C", 5, concave(60.0, 52.0, 80.0)),
+]
+
+
+class TestPolish:
+    def test_polish_never_hurts(self):
+        plain = PARSolver(scipy_polish=False, safety_margin=0.0)
+        polished = PARSolver(scipy_polish=True, safety_margin=0.0)
+        for budget in (700.0, 900.0, 1100.0, 1300.0):
+            a = plain.solve(THREE_GROUPS, budget).expected_perf
+            b = polished.solve(THREE_GROUPS, budget).expected_perf
+            assert b >= a - 1e-9
+
+    def test_polish_beats_coarse_grid_alone(self):
+        # Disable the KKT advantage by using a very coarse grid solver
+        # vs the same with polish: polish must close the gap.
+        coarse = PARSolver(
+            coarse_granularity=0.25, granularity=0.25,
+            scipy_polish=False, safety_margin=0.0,
+        )
+        refined = PARSolver(
+            coarse_granularity=0.25, granularity=0.25,
+            scipy_polish=True, safety_margin=0.0,
+        )
+        exact = PARSolver(safety_margin=0.0)
+        budget = 1000.0
+        best = exact.solve(THREE_GROUPS, budget).expected_perf
+        with_polish = refined.solve(THREE_GROUPS, budget).expected_perf
+        without = coarse.solve(THREE_GROUPS, budget).expected_perf
+        assert with_polish >= without - 1e-9
+        assert with_polish >= 0.98 * best
+
+    def test_polish_respects_budget(self):
+        solver = PARSolver(scipy_polish=True, safety_margin=0.0)
+        for budget in (600.0, 850.0, 1200.0):
+            sol = solver.solve(THREE_GROUPS, budget)
+            total = sum(
+                g.count * p for g, p in zip(THREE_GROUPS, sol.per_server_w)
+            )
+            assert total <= budget + 1e-4
+
+    def test_polish_respects_boxes(self):
+        solver = PARSolver(scipy_polish=True, safety_margin=0.05)
+        sol = solver.solve(THREE_GROUPS, 1500.0)
+        for group, p in zip(THREE_GROUPS, sol.per_server_w):
+            if p > 0:
+                assert p >= group.fit.min_power_w * 1.05 - 1e-6
+                assert p <= group.fit.max_power_w + 1e-6
+
+    def test_method_label(self):
+        # With exact KKT available the polish rarely wins, but the label
+        # must be one of the three mechanisms.
+        solver = PARSolver(scipy_polish=True, safety_margin=0.0)
+        sol = solver.solve(THREE_GROUPS, 1000.0)
+        assert sol.method in ("kkt", "grid", "slsqp")

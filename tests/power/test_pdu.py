@@ -1,0 +1,168 @@
+"""PDU flow execution: the source priority chain."""
+
+import pytest
+
+from repro.errors import PowerError
+from repro.power.battery import BatteryBank
+from repro.power.grid import GridSource
+from repro.power.pdu import PDU
+from repro.power.solar import SolarFarm
+from repro.power.sources import ChargeSource
+from repro.traces.nrel import Weather, synthesize_irradiance
+
+NOON = 12 * 3600.0
+MIDNIGHT = 0.0
+
+
+def make_pdu(solar_peak_w=1500.0, grid_budget_w=1000.0, soc=1.0, seed=5):
+    trace = synthesize_irradiance(days=1, weather=Weather.HIGH, seed=seed)
+    solar = SolarFarm.sized_for(trace, peak_power_w=solar_peak_w)
+    battery = BatteryBank(initial_soc_fraction=soc)
+    grid = GridSource(budget_w=grid_budget_w)
+    return PDU(solar, battery, grid)
+
+
+class TestPriorityChain:
+    def test_renewable_first(self):
+        pdu = make_pdu()
+        renewable = pdu.solar.power_at(NOON)
+        assert renewable > 500.0
+        flows = pdu.supply(load_w=400.0, time_s=NOON, duration_s=900.0)
+        assert flows.breakdown.renewable_to_load_w == pytest.approx(400.0)
+        assert flows.breakdown.battery_to_load_w == 0.0
+        assert flows.breakdown.grid_to_load_w == 0.0
+
+    def test_battery_supplements_shortfall(self):
+        pdu = make_pdu()
+        flows = pdu.supply(load_w=800.0, time_s=MIDNIGHT, duration_s=900.0)
+        assert flows.breakdown.renewable_to_load_w == 0.0
+        assert flows.breakdown.battery_to_load_w == pytest.approx(800.0)
+        assert flows.delivered_w == pytest.approx(800.0)
+
+    def test_grid_last_resort(self):
+        pdu = make_pdu(soc=0.6)  # battery at its DoD floor
+        flows = pdu.supply(load_w=800.0, time_s=MIDNIGHT, duration_s=900.0)
+        assert flows.breakdown.battery_to_load_w == 0.0
+        assert flows.breakdown.grid_to_load_w == pytest.approx(800.0)
+
+    def test_battery_disabled_by_controller(self):
+        pdu = make_pdu()
+        flows = pdu.supply(
+            load_w=800.0, time_s=MIDNIGHT, duration_s=900.0, use_battery=False
+        )
+        assert flows.breakdown.battery_to_load_w == 0.0
+        assert flows.breakdown.grid_to_load_w == pytest.approx(800.0)
+
+    def test_underdelivery_when_everything_exhausted(self):
+        pdu = make_pdu(soc=0.6, grid_budget_w=300.0)
+        flows = pdu.supply(load_w=900.0, time_s=MIDNIGHT, duration_s=900.0)
+        assert flows.delivered_w == pytest.approx(300.0)
+
+
+class TestCharging:
+    def test_surplus_renewable_charges_battery(self):
+        pdu = make_pdu(soc=0.6)
+        flows = pdu.supply(load_w=200.0, time_s=NOON, duration_s=900.0)
+        assert flows.breakdown.charge_source is ChargeSource.RENEWABLE
+        assert flows.breakdown.charge_w > 0.0
+
+    def test_grid_charging_when_enabled(self):
+        pdu = make_pdu(soc=0.6)
+        flows = pdu.supply(
+            load_w=400.0,
+            time_s=MIDNIGHT,
+            duration_s=900.0,
+            use_battery=False,
+            grid_charges_battery=True,
+        )
+        assert flows.breakdown.charge_source is ChargeSource.GRID
+        assert flows.breakdown.charge_w > 0.0
+
+    def test_grid_charging_respects_budget(self):
+        pdu = make_pdu(soc=0.6, grid_budget_w=1000.0)
+        flows = pdu.supply(
+            load_w=900.0,
+            time_s=MIDNIGHT,
+            duration_s=900.0,
+            use_battery=False,
+            grid_charges_battery=True,
+        )
+        assert flows.breakdown.grid_total_w <= 1000.0 + 1e-9
+        assert flows.breakdown.charge_w <= 100.0 + 1e-9
+
+    def test_single_charging_source(self):
+        # Renewable surplus present: grid must not charge even if allowed.
+        pdu = make_pdu(soc=0.6)
+        flows = pdu.supply(
+            load_w=100.0, time_s=NOON, duration_s=900.0, grid_charges_battery=True
+        )
+        assert flows.breakdown.charge_source is ChargeSource.RENEWABLE
+
+    def test_full_battery_curtails_surplus(self):
+        pdu = make_pdu(soc=1.0)
+        flows = pdu.supply(load_w=100.0, time_s=NOON, duration_s=900.0)
+        assert flows.curtailed_w > 0.0
+        assert flows.breakdown.charge_w == pytest.approx(0.0)
+
+
+class TestAccounting:
+    def test_energy_conservation(self):
+        pdu = make_pdu()
+        load = 700.0
+        flows = pdu.supply(load_w=load, time_s=NOON, duration_s=900.0)
+        b = flows.breakdown
+        assert b.total_to_load_w == pytest.approx(
+            b.renewable_to_load_w + b.battery_to_load_w + b.grid_to_load_w
+        )
+        assert flows.renewable_available_w == pytest.approx(
+            b.renewable_to_load_w
+            + (b.charge_w if b.charge_source is ChargeSource.RENEWABLE else 0.0)
+            + flows.curtailed_w
+        )
+
+    def test_soc_reported(self):
+        pdu = make_pdu()
+        before = pdu.battery.soc_wh
+        flows = pdu.supply(load_w=500.0, time_s=MIDNIGHT, duration_s=3600.0)
+        assert flows.battery_soc_wh == pytest.approx(before - 500.0)
+
+    def test_available_upper_bound(self):
+        pdu = make_pdu()
+        avail = pdu.available_w(NOON, 900.0)
+        assert avail >= pdu.solar.power_at(NOON) + 1000.0
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(PowerError):
+            make_pdu().supply(load_w=-1.0, time_s=0.0, duration_s=60.0)
+
+    def test_bad_duration_rejected(self):
+        with pytest.raises(PowerError):
+            make_pdu().supply(load_w=10.0, time_s=0.0, duration_s=0.0)
+
+
+class TestBatteryCap:
+    """Per-epoch battery discharge cap (the rationing extension)."""
+
+    def test_cap_limits_discharge_grid_covers_rest(self):
+        pdu = make_pdu()
+        flows = pdu.supply(
+            load_w=900.0, time_s=MIDNIGHT, duration_s=900.0, battery_cap_w=300.0
+        )
+        assert flows.breakdown.battery_to_load_w == pytest.approx(300.0)
+        assert flows.breakdown.grid_to_load_w == pytest.approx(600.0)
+        assert flows.delivered_w == pytest.approx(900.0)
+
+    def test_none_cap_is_greedy(self):
+        pdu = make_pdu()
+        flows = pdu.supply(
+            load_w=900.0, time_s=MIDNIGHT, duration_s=900.0, battery_cap_w=None
+        )
+        assert flows.breakdown.battery_to_load_w == pytest.approx(900.0)
+
+    def test_zero_cap_disables_battery(self):
+        pdu = make_pdu()
+        flows = pdu.supply(
+            load_w=500.0, time_s=MIDNIGHT, duration_s=900.0, battery_cap_w=0.0
+        )
+        assert flows.breakdown.battery_to_load_w == 0.0
+        assert flows.breakdown.grid_to_load_w == pytest.approx(500.0)

@@ -1,0 +1,110 @@
+"""Simulation engine assembly and execution."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import make_policy
+from repro.errors import ConfigurationError
+from repro.servers.rack import Rack
+from repro.sim.clock import SimClock
+from repro.sim.engine import Simulation
+from repro.traces.nrel import Weather
+from repro.units import SECONDS_PER_DAY
+
+
+def assemble(policy="GreenHetero", hours=2.0, **kwargs):
+    rack = Rack([("E5-2620", 5), ("i5-4460", 5)], kwargs.pop("workload", "SPECjbb"))
+    clock = SimClock(start_s=SECONDS_PER_DAY, duration_s=hours * 3600.0)
+    return Simulation.assemble(
+        policy=make_policy(policy), rack=rack, clock=clock, seed=11, **kwargs
+    )
+
+
+class TestAssembly:
+    def test_default_stack(self):
+        sim = assemble()
+        assert sim.controller.pdu.grid.budget_w > 0
+        assert sim.controller.pdu.battery.is_full
+        assert sim.clock.n_epochs == 8
+
+    def test_solar_sized_to_rack(self):
+        sim = assemble(solar_scale=1.5)
+        assert sim.controller.pdu.solar.rated_peak_w == pytest.approx(
+            1.5 * sim.controller.rack.max_draw_w
+        )
+
+    def test_grid_budget_override(self):
+        sim = assemble(grid_budget_w=777.0)
+        assert sim.controller.pdu.grid.budget_w == 777.0
+
+    def test_grid_budget_default_underprovisioned(self):
+        sim = assemble(grid_budget_w=None)
+        assert sim.controller.pdu.grid.budget_w < sim.controller.rack.max_draw_w
+
+    def test_predictors_pretrained(self):
+        sim = assemble()
+        assert sim.controller.scheduler.renewable_predictor.ready
+        assert sim.controller.scheduler.demand_predictor.ready
+
+    def test_bad_solar_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            assemble(solar_scale=0.0)
+
+    def test_constrained_mode_disables_grid(self):
+        sim = assemble(supply_fractions=(0.6, 0.8))
+        assert sim.controller.pdu.grid.budget_w == 0.0
+        assert sim.controller.budget_override is not None
+
+    def test_bad_supply_fractions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            assemble(supply_fractions=(0.5, -0.1))
+        with pytest.raises(ConfigurationError):
+            assemble(supply_fractions=())
+
+
+class TestExecution:
+    def test_run_fills_log(self):
+        sim = assemble()
+        log = sim.run()
+        assert len(log) == sim.clock.n_epochs
+
+    def test_step_incremental(self):
+        sim = assemble(hours=0.5)
+        sim.step()
+        assert len(sim.log) == 1
+        sim.step()
+        assert len(sim.log) == 2
+        with pytest.raises(ConfigurationError):
+            sim.step()
+
+    def test_deterministic_per_seed(self):
+        a = assemble().run()
+        b = assemble().run()
+        assert np.allclose(a.throughputs, b.throughputs)
+        assert np.allclose(a.epus, b.epus)
+
+    def test_constrained_mode_budget_cycles(self):
+        sim = assemble(supply_fractions=(0.5, 0.9), hours=1.0)
+        log = sim.run()
+        envelope = sim.controller.rack.envelope_w
+        assert log[0].budget_w <= 0.5 * envelope + 1e-6
+        assert log[1].budget_w > log[0].budget_w
+
+    def test_budget_reference_used(self):
+        sim = assemble(
+            supply_fractions=(0.5,), budget_reference_w=800.0, hours=0.5,
+            workload="Streamcluster",
+        )
+        log = sim.run()
+        assert log[0].budget_w == pytest.approx(400.0)
+
+    def test_interactive_load_varies_with_diurnal_pattern(self):
+        sim = assemble(hours=8.0, diurnal_load=True)
+        log = sim.run()
+        loads = log.series("load_fraction")
+        assert loads.std() > 0.0
+
+    def test_batch_load_constant(self):
+        sim = assemble(hours=2.0, workload="Streamcluster")
+        log = sim.run()
+        assert np.allclose(log.series("load_fraction"), 1.0)

@@ -1,0 +1,135 @@
+"""Failure injection: the controller must degrade gracefully."""
+
+import numpy as np
+import pytest
+
+from repro.core.policies import make_policy
+from repro.errors import ConfigurationError
+from repro.servers.rack import Rack
+from repro.sim.clock import SimClock
+from repro.sim.engine import Simulation
+from repro.sim.faults import FaultInjector, FaultWindow
+from repro.units import SECONDS_PER_DAY
+
+DAY = SECONDS_PER_DAY
+
+
+def assemble(faults=None, hours=6.0, start_hour=0.0, **kwargs):
+    rack = Rack([("E5-2620", 5), ("i5-4460", 5)], "SPECjbb")
+    clock = SimClock(start_s=DAY + start_hour * 3600.0, duration_s=hours * 3600.0)
+    sim = Simulation.assemble(
+        policy=make_policy("GreenHetero"), rack=rack, clock=clock, seed=13, **kwargs
+    )
+    sim.faults = faults
+    return sim
+
+
+class TestFaultWindow:
+    def test_half_open_interval(self):
+        w = FaultWindow(10.0, 20.0, 0.5)
+        assert w.active_at(10.0)
+        assert w.active_at(19.999)
+        assert not w.active_at(20.0)
+        assert not w.active_at(9.999)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultWindow(20.0, 10.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            FaultWindow(0.0, 10.0, 1.5)
+
+
+class TestRenewableDropout:
+    def test_noon_dropout_kills_solar(self):
+        faults = FaultInjector().add_renewable_dropout(
+            DAY + 12 * 3600.0, DAY + 14 * 3600.0, factor=0.0
+        )
+        sim = assemble(faults, hours=6.0, start_hour=10.0)
+        log = sim.run()
+        hours = (log.times_s - DAY) / 3600.0
+        dropped = (hours >= 12.0) & (hours < 14.0)
+        healthy = ~dropped
+        assert log.series("renewable_w")[dropped].max() == 0.0
+        assert log.series("renewable_w")[healthy].max() > 100.0
+
+    def test_rack_survives_on_battery(self):
+        faults = FaultInjector().add_renewable_dropout(
+            DAY + 12 * 3600.0, DAY + 13 * 3600.0
+        )
+        sim = assemble(faults, hours=3.0, start_hour=11.0)
+        log = sim.run()
+        # Battery/grid carries the load: no zero-throughput epochs.
+        assert log.throughputs.min() > 0.0
+
+    def test_partial_dropout_scales(self):
+        faults = FaultInjector().add_renewable_dropout(
+            DAY + 12 * 3600.0, DAY + 13 * 3600.0, factor=0.5
+        )
+        healthy = assemble(None, hours=1.0, start_hour=12.0).run()
+        faulty = assemble(faults, hours=1.0, start_hour=12.0).run()
+        ratio = faulty.series("renewable_w")[0] / healthy.series("renewable_w")[0]
+        assert ratio == pytest.approx(0.5, abs=0.05)
+
+
+class TestBatteryOutage:
+    def test_night_outage_routes_to_grid(self):
+        faults = FaultInjector().add_battery_outage(DAY, DAY + 2 * 3600.0)
+        sim = assemble(faults, hours=2.0, start_hour=0.0)
+        log = sim.run()
+        assert log.series("battery_to_load_w").max() == pytest.approx(0.0, abs=1e-6)
+        assert log.series("grid_to_load_w").max() > 0.0
+
+    def test_battery_restored_after_window(self):
+        faults = FaultInjector().add_battery_outage(DAY, DAY + 3600.0)
+        sim = assemble(faults, hours=3.0, start_hour=0.0)
+        log = sim.run()
+        hours = (log.times_s - DAY) / 3600.0
+        after = hours >= 1.0
+        assert log.series("battery_to_load_w")[after].max() > 0.0
+
+
+class TestGridOutage:
+    def test_blackout_with_drained_battery_browns_out(self):
+        faults = FaultInjector().add_grid_outage(DAY, DAY + 2 * 3600.0)
+        sim = assemble(faults, hours=2.0, start_hour=0.0)
+        # Drain the battery so nothing can serve the night load.
+        bank = sim.controller.pdu.battery
+        bank.soc_wh = bank.floor_wh
+        log = sim.run()
+        assert log.series("grid_to_load_w").max() == pytest.approx(0.0, abs=1e-6)
+        # Throughput collapses but the controller never crashes.
+        assert log.throughputs.max() < 1e-6 or log.throughputs.min() >= 0.0
+
+    def test_brownout_factor(self):
+        faults = FaultInjector().add_grid_outage(DAY, DAY + 3600.0, factor=0.5)
+        sim = assemble(faults, hours=1.0, start_hour=0.0)
+        bank = sim.controller.pdu.battery
+        bank.soc_wh = bank.floor_wh
+        healthy_budget = sim.controller.pdu.grid.budget_w
+        log = sim.run()
+        assert log.series("grid_to_load_w").max() <= 0.5 * healthy_budget + 1e-6
+
+    def test_grid_restored_after_window(self):
+        faults = FaultInjector().add_grid_outage(DAY, DAY + 3600.0)
+        sim = assemble(faults, hours=3.0, start_hour=0.0)
+        sim.run()
+        assert sim.controller.pdu.grid.budget_w > 0.0
+
+
+class TestComposition:
+    def test_overlapping_faults_compose(self):
+        faults = (
+            FaultInjector()
+            .add_renewable_dropout(DAY + 12 * 3600.0, DAY + 13 * 3600.0)
+            .add_battery_outage(DAY + 12 * 3600.0, DAY + 13 * 3600.0)
+        )
+        sim = assemble(faults, hours=1.0, start_hour=12.0)
+        log = sim.run()
+        # Only the grid remains: load served within its budget.
+        assert log.series("grid_to_load_w").max() > 0.0
+        assert log.series("battery_to_load_w").max() == pytest.approx(0.0, abs=1e-6)
+
+    def test_no_faults_is_identity(self):
+        a = assemble(None, hours=2.0).run()
+        b = assemble(FaultInjector(), hours=2.0).run()
+        assert np.allclose(a.throughputs, b.throughputs)

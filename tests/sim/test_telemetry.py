@@ -1,0 +1,124 @@
+"""Telemetry log and regime masks."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import EpochRecord
+from repro.core.sources import PowerCase
+from repro.errors import SimulationError
+from repro.power.sources import ChargeSource
+from repro.sim.telemetry import TelemetryLog
+
+
+def record(t=0.0, case=PowerCase.A, budget=1000.0, demand=1000.0, thr=100.0,
+           epu=0.9, par=0.6, b2l=0.0, g2l=0.0, charge=0.0,
+           charge_source=ChargeSource.NONE, soc=12000.0):
+    return EpochRecord(
+        time_s=t, case=case, budget_w=budget, demand_w=demand,
+        renewable_w=500.0, load_fraction=1.0, ratios=(par, 1 - par),
+        group_budgets_w=(par * budget, (1 - par) * budget),
+        state_indices=(5, 5), throughput=thr, epu=epu,
+        useful_power_w=epu * budget, renewable_to_load_w=0.0,
+        battery_to_load_w=b2l, grid_to_load_w=g2l, charge_w=charge,
+        charge_source=charge_source, battery_soc_wh=soc, curtailed_w=0.0,
+        trained_pairs=(), brownout=False,
+    )
+
+
+@pytest.fixture
+def log():
+    out = TelemetryLog()
+    out.append(record(t=0.0, case=PowerCase.C, budget=800.0, demand=1000.0, thr=50.0, epu=0.5, b2l=800.0))
+    out.append(record(t=900.0, case=PowerCase.B, budget=1000.0, demand=1000.0, thr=90.0, epu=0.8, g2l=400.0, charge=100.0, charge_source=ChargeSource.GRID))
+    out.append(record(t=1800.0, case=PowerCase.A, budget=1000.0, demand=1000.0, thr=100.0, epu=0.95))
+    return out
+
+
+class TestAppend:
+    def test_ordering_enforced(self, log):
+        with pytest.raises(SimulationError):
+            log.append(record(t=900.0))
+
+    def test_len_iter_getitem(self, log):
+        assert len(log) == 3
+        assert len(list(log)) == 3
+        assert log[0].case is PowerCase.C
+        assert len(log.records) == 3
+
+    def test_empty_log_raises(self):
+        with pytest.raises(SimulationError):
+            TelemetryLog().throughputs
+
+
+class TestSeries:
+    def test_series_by_field(self, log):
+        assert list(log.series("budget_w")) == [800.0, 1000.0, 1000.0]
+
+    def test_named_series(self, log):
+        assert list(log.throughputs) == [50.0, 90.0, 100.0]
+        assert list(log.epus) == [0.5, 0.8, 0.95]
+        assert list(log.pars) == [0.6, 0.6, 0.6]
+        assert list(log.times_s) == [0.0, 900.0, 1800.0]
+
+    def test_cases(self, log):
+        assert log.cases == [PowerCase.C, PowerCase.B, PowerCase.A]
+
+
+class TestMasks:
+    def test_insufficient_is_not_case_a(self, log):
+        assert list(log.insufficient_mask()) == [True, True, False]
+
+    def test_budget_short_mask(self, log):
+        assert list(log.budget_short_mask()) == [True, False, False]
+
+    def test_case_mask(self, log):
+        assert list(log.case_mask(PowerCase.B, PowerCase.C)) == [True, True, False]
+
+
+class TestAggregates:
+    def test_mean_throughput(self, log):
+        assert log.mean_throughput() == pytest.approx(80.0)
+
+    def test_masked_mean(self, log):
+        mask = log.insufficient_mask()
+        assert log.mean_throughput(mask) == pytest.approx(70.0)
+
+    def test_empty_mask_is_zero(self, log):
+        mask = np.zeros(3, dtype=bool)
+        assert log.mean_epu(mask) == 0.0
+
+    def test_bad_mask_shape_rejected(self, log):
+        with pytest.raises(SimulationError):
+            log.mean_epu(np.ones(5, dtype=bool))
+
+    def test_grid_energy_includes_charging(self, log):
+        # 400 W load + 100 W charging for one 900 s epoch.
+        assert log.grid_energy_wh(900.0) == pytest.approx(500.0 * 900.0 / 3600.0)
+
+    def test_discharge_hours(self, log):
+        assert log.discharge_hours(900.0) == pytest.approx(0.25)
+
+    def test_mean_par(self, log):
+        assert log.mean_par() == pytest.approx(0.6)
+
+
+class TestCsvExport:
+    def test_round_trippable_csv(self, log, tmp_path):
+        import csv as csv_mod
+
+        path = tmp_path / "telemetry.csv"
+        log.to_csv(path)
+        with open(path) as f:
+            rows = list(csv_mod.DictReader(f))
+        assert len(rows) == 3
+        assert rows[0]["case"] == "C"
+        assert float(rows[0]["budget_w"]) == 800.0
+        assert rows[1]["charge_source"] == "grid"
+        assert {"par_0", "par_1"} <= set(rows[0])
+
+    def test_empty_log_rejected(self, tmp_path):
+        from repro.errors import SimulationError
+        from repro.sim.telemetry import TelemetryLog
+
+        with pytest.raises(SimulationError):
+            TelemetryLog().to_csv(tmp_path / "x.csv")

@@ -1,0 +1,139 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policies", "RoundRobin"])
+
+
+class TestRun:
+    def test_run_prints_policy_table(self, capsys):
+        code = main(
+            [
+                "run", "--days", "0.125",
+                "--policies", "Uniform", "GreenHetero",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "GreenHetero" in out
+        assert "gain" in out
+
+    def test_run_with_sustainability(self, capsys):
+        code = main(
+            [
+                "run", "--days", "0.125",
+                "--policies", "GreenHetero", "--sustainability",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CO2" in out
+
+    def test_run_custom_platforms(self, capsys):
+        code = main(
+            [
+                "run", "--days", "0.125", "--platforms", "E5-2650:2,i7-8700K:2",
+                "--policies", "Uniform", "GreenHetero", "--workload", "Canneal",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_platform_is_clean_error(self, capsys):
+        code = main(
+            ["run", "--days", "0.125", "--platforms", "Epyc:2",
+             "--policies", "Uniform"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+
+class TestSweep:
+    def test_sweep_two_workloads(self, capsys):
+        code = main(
+            [
+                "sweep", "--workloads", "Memcached", "Streamcluster",
+                "--policies", "Uniform", "GreenHetero",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Memcached" in out and "Streamcluster" in out
+
+
+class TestCaseStudy:
+    def test_default_case_study(self, capsys):
+        code = main(["case-study", "--step", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "optimal PAR" in out
+        assert "E5-2620" in out
+
+
+class TestCombos:
+    def test_single_combo(self, capsys):
+        code = main(["combos", "--names", "Comb2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Comb2" in out
+
+    def test_unknown_combo_is_clean_error(self, capsys):
+        code = main(["combos", "--names", "Comb17"])
+        assert code == 2
+
+
+class TestTrace:
+    def test_writes_csv(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.csv"
+        code = main(["trace", "--days", "1", "--out", str(out_file)])
+        assert code == 0
+        assert out_file.exists()
+        header = out_file.read_text().splitlines()[0]
+        assert header == "time_s,ghi_w_m2"
+
+
+class TestValidate:
+    def test_all_anchors_hold(self, capsys):
+        code = main(["validate"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "7/7 anchors hold" in out
+        assert "FAIL" not in out
+
+
+class TestExport:
+    def test_run_exports_csv(self, tmp_path, capsys):
+        out_file = tmp_path / "telemetry.csv"
+        code = main(
+            [
+                "run", "--days", "0.125", "--policies", "Uniform", "GreenHetero",
+                "--export", str(out_file),
+            ]
+        )
+        assert code == 0
+        assert out_file.exists()
+        assert "case" in out_file.read_text().splitlines()[0]
+
+
+class TestExtensionPolicies:
+    def test_extension_policies_selectable(self, capsys):
+        code = main(
+            [
+                "run", "--days", "0.125",
+                "--policies", "Uniform", "GreenHetero+", "OnOff",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "GreenHetero+" in out
+        assert "OnOff" in out

@@ -1,0 +1,61 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc_class",
+    [
+        errors.ConfigurationError,
+        errors.UnknownPlatformError,
+        errors.UnknownWorkloadError,
+        errors.IncompatibleWorkloadError,
+        errors.PowerError,
+        errors.BatteryError,
+        errors.SolverError,
+        errors.DatabaseMissError,
+        errors.TraceError,
+        errors.SimulationError,
+    ],
+)
+def test_all_derive_from_repro_error(exc_class):
+    assert issubclass(exc_class, errors.ReproError)
+
+
+def test_battery_error_is_power_error():
+    assert issubclass(errors.BatteryError, errors.PowerError)
+
+
+def test_unknown_platform_is_configuration_error():
+    assert issubclass(errors.UnknownPlatformError, errors.ConfigurationError)
+
+
+def test_unknown_platform_message_includes_known():
+    err = errors.UnknownPlatformError("x86-box", ("E5-2620", "i5-4460"))
+    assert "x86-box" in str(err)
+    assert "E5-2620" in str(err)
+
+
+def test_unknown_platform_message_without_known():
+    err = errors.UnknownPlatformError("mystery")
+    assert "mystery" in str(err)
+
+
+def test_unknown_workload_message():
+    err = errors.UnknownWorkloadError("nginx", ("SPECjbb",))
+    assert "nginx" in str(err)
+    assert "SPECjbb" in str(err)
+
+
+def test_database_miss_carries_key():
+    err = errors.DatabaseMissError("E5-2620", "SPECjbb")
+    assert err.platform == "E5-2620"
+    assert err.workload == "SPECjbb"
+    assert "training run" in str(err)
+
+
+def test_catching_base_class_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.BatteryError("drained")

@@ -1,0 +1,67 @@
+"""Figure-data regeneration pipeline."""
+
+import csv
+
+import pytest
+
+from repro import figures
+
+
+@pytest.fixture(scope="module")
+def generated(tmp_path_factory):
+    out = tmp_path_factory.mktemp("figs")
+    paths = figures.generate_all(out, quick=True)
+    return out, paths
+
+
+def read(path):
+    with open(path) as f:
+        return list(csv.DictReader(f))
+
+
+class TestGenerateAll:
+    def test_all_eight_files(self, generated):
+        out, paths = generated
+        assert len(paths) == 8
+        for path in paths:
+            assert path.exists()
+            assert path.stat().st_size > 0
+
+    def test_fig03_shape(self, generated):
+        out, _ = generated
+        rows = read(out / "fig03_case_study.csv")
+        assert len(rows) == 21  # PAR 0..100 step 5
+        best = max(rows, key=lambda r: float(r["perf_jops"]))
+        assert 60 <= int(best["par_pct"]) <= 70
+
+    def test_fig08_timeline_columns(self, generated):
+        out, _ = generated
+        rows = read(out / "fig08_timeline.csv")
+        assert {"case", "greenhetero_perf", "uniform_perf", "par"} <= set(rows[0])
+        assert len(rows) == 24  # quick: 0.25 day of 15-min epochs
+
+    def test_fig09_normalized_to_uniform(self, generated):
+        out, _ = generated
+        for row in read(out / "fig09_perf.csv"):
+            assert float(row["Uniform"]) == pytest.approx(1.0)
+
+    def test_fig12_monotone(self, generated):
+        out, _ = generated
+        rows = read(out / "fig12_grid_budget.csv")
+        perfs = [float(r["greenhetero_perf"]) for r in rows]
+        assert perfs == sorted(perfs) or perfs[-1] >= perfs[0] * 0.95
+
+    def test_fig14_workloads(self, generated):
+        out, _ = generated
+        names = {r["workload"] for r in read(out / "fig14_gpu.csv")}
+        assert "Srad_v1" in names
+
+
+class TestCli:
+    def test_figures_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["figures", "--out", str(tmp_path / "f"), "--quick"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8 figure datasets" in out

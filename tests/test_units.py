@@ -1,0 +1,63 @@
+"""Unit-convention helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_epoch_is_fifteen_minutes():
+    assert units.EPOCH_SECONDS == 15 * 60
+
+
+def test_substep_is_two_minutes():
+    assert units.SUBSTEP_SECONDS == 2 * 60
+
+
+def test_training_run_is_ten_minutes():
+    assert units.TRAINING_RUN_SECONDS == 10 * 60
+
+
+def test_training_run_shorter_than_epoch():
+    # Section IV-B.2: the training run fits inside one scheduling epoch.
+    assert units.TRAINING_RUN_SECONDS < units.EPOCH_SECONDS
+
+
+def test_epochs_per_day():
+    assert units.EPOCHS_PER_DAY == 96
+
+
+def test_minutes():
+    assert units.minutes(2) == 120
+
+
+def test_hours():
+    assert units.hours(1.5) == 5400
+
+
+def test_days():
+    assert units.days(2) == 2 * 86400
+
+
+def test_watt_hours():
+    # 1000 W for half an hour is 500 Wh.
+    assert units.watt_hours(1000.0, 1800.0) == pytest.approx(500.0)
+
+
+def test_watt_hours_zero_duration():
+    assert units.watt_hours(500.0, 0.0) == 0.0
+
+
+def test_wh_to_joules():
+    assert units.wh_to_joules(1.0) == 3600.0
+
+
+def test_ghz():
+    assert units.ghz(2.0) == 2.0e9
+
+
+def test_mhz():
+    assert units.mhz(1582) == pytest.approx(1.582e9)
+
+
+def test_seconds_per_day_consistency():
+    assert units.SECONDS_PER_DAY == units.HOURS_PER_DAY * units.SECONDS_PER_HOUR

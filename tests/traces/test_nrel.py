@@ -1,0 +1,232 @@
+"""Synthetic NREL-style irradiance traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.nrel import (
+    GHI_PEAK,
+    IrradianceTrace,
+    Weather,
+    clear_sky_irradiance,
+    load_irradiance_csv,
+    synthesize_irradiance,
+)
+from repro.units import SECONDS_PER_DAY, hours
+
+
+class TestClearSky:
+    def test_zero_at_night(self):
+        assert clear_sky_irradiance(hours(0)) == 0.0
+        assert clear_sky_irradiance(hours(5.9)) == 0.0
+        assert clear_sky_irradiance(hours(18.1)) == 0.0
+
+    def test_peak_at_noon(self):
+        noon = clear_sky_irradiance(hours(12))
+        assert noon == pytest.approx(GHI_PEAK)
+        assert clear_sky_irradiance(hours(9)) < noon
+        assert clear_sky_irradiance(hours(15)) < noon
+
+    def test_symmetric_about_noon(self):
+        assert clear_sky_irradiance(hours(10)) == pytest.approx(
+            clear_sky_irradiance(hours(14))
+        )
+
+    def test_wraps_daily(self):
+        assert clear_sky_irradiance(hours(12)) == pytest.approx(
+            clear_sky_irradiance(hours(36))
+        )
+
+
+class TestSynthesis:
+    def test_deterministic_per_seed(self):
+        a = synthesize_irradiance(days=1, seed=42)
+        b = synthesize_irradiance(days=1, seed=42)
+        assert np.array_equal(a.values_w_m2, b.values_w_m2)
+
+    def test_seeds_differ(self):
+        a = synthesize_irradiance(days=1, seed=1)
+        b = synthesize_irradiance(days=1, seed=2)
+        assert not np.array_equal(a.values_w_m2, b.values_w_m2)
+
+    def test_one_week_at_15_minutes(self):
+        trace = synthesize_irradiance(days=7)
+        assert len(trace.times_s) == 7 * 96
+        assert trace.interval_s == 900.0
+
+    def test_never_exceeds_clear_sky(self):
+        trace = synthesize_irradiance(days=3, weather=Weather.HIGH, seed=3)
+        for t, v in zip(trace.times_s, trace.values_w_m2):
+            assert v <= clear_sky_irradiance(t) + 1e-9
+
+    def test_high_outproduces_low(self):
+        high = synthesize_irradiance(days=7, weather=Weather.HIGH, seed=4)
+        low = synthesize_irradiance(days=7, weather=Weather.LOW, seed=4)
+        assert high.mean_w_m2() > 1.3 * low.mean_w_m2()
+
+    def test_low_trace_more_variable(self):
+        # Fig. 11: "the power supply ... becomes more fluctuated".
+        high = synthesize_irradiance(days=7, weather=Weather.HIGH, seed=4)
+        low = synthesize_irradiance(days=7, weather=Weather.LOW, seed=4)
+
+        def daytime_cv(trace):
+            day = trace.values_w_m2[trace.values_w_m2 > 1.0]
+            clear = np.array(
+                [clear_sky_irradiance(t) for t, v in zip(trace.times_s, trace.values_w_m2) if v > 1.0]
+            )
+            ratio = day / clear
+            return ratio.std()
+
+        assert daytime_cv(low) > daytime_cv(high)
+
+    def test_bad_days_rejected(self):
+        with pytest.raises(TraceError):
+            synthesize_irradiance(days=0)
+
+
+class TestTraceContainer:
+    def test_at_zero_order_hold(self):
+        trace = synthesize_irradiance(days=1, seed=9)
+        assert trace.at(0.0) == trace.values_w_m2[0]
+        assert trace.at(450.0) == trace.values_w_m2[0]
+        assert trace.at(900.0) == trace.values_w_m2[1]
+
+    def test_at_wraps_past_end(self):
+        trace = synthesize_irradiance(days=1, seed=9)
+        assert trace.at(SECONDS_PER_DAY + 450.0) == trace.at(450.0)
+
+    def test_at_wraps_negative(self):
+        trace = synthesize_irradiance(days=1, seed=9)
+        assert trace.at(-900.0) == trace.at(SECONDS_PER_DAY - 900.0)
+
+    def test_window(self):
+        trace = synthesize_irradiance(days=2, seed=9)
+        day2 = trace.window(SECONDS_PER_DAY, 2 * SECONDS_PER_DAY)
+        assert len(day2.times_s) == 96
+
+    def test_window_too_small_rejected(self):
+        trace = synthesize_irradiance(days=1, seed=9)
+        with pytest.raises(TraceError):
+            trace.window(0.0, 900.0)
+
+    def test_validation_irregular_sampling(self):
+        with pytest.raises(TraceError):
+            IrradianceTrace(np.array([0.0, 900.0, 2000.0]), np.zeros(3))
+
+    def test_validation_negative_values(self):
+        with pytest.raises(TraceError):
+            IrradianceTrace(np.array([0.0, 900.0]), np.array([1.0, -1.0]))
+
+    def test_validation_too_short(self):
+        with pytest.raises(TraceError):
+            IrradianceTrace(np.array([0.0]), np.array([1.0]))
+
+    def test_validation_non_increasing(self):
+        with pytest.raises(TraceError):
+            IrradianceTrace(np.array([900.0, 0.0]), np.array([1.0, 1.0]))
+
+
+class TestCsvRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        trace = synthesize_irradiance(days=1, seed=11)
+        path = tmp_path / "trace.csv"
+        trace.save_csv(path)
+        loaded = load_irradiance_csv(path)
+        assert np.allclose(loaded.values_w_m2, trace.values_w_m2, atol=1e-3)
+        assert loaded.name == "trace"
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(TraceError):
+            load_irradiance_csv(path)
+
+    def test_bad_rows_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time_s,ghi_w_m2\n0,x\n")
+        with pytest.raises(TraceError):
+            load_irradiance_csv(path)
+
+
+class TestMidcFormat:
+    """Parsing real NREL MIDC exports (the paper's data source)."""
+
+    def _write_midc(self, path, rows, ghi_header="Global Horizontal [W/m^2]"):
+        lines = [f"DATE (MM/DD/YYYY),MST,{ghi_header}"]
+        lines += [",".join(str(v) for v in row) for row in rows]
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_parses_midc_export(self, tmp_path):
+        from repro.traces.nrel import load_midc_csv
+
+        path = tmp_path / "midc.csv"
+        self._write_midc(
+            path,
+            [
+                ("07/01/2020", "10:00", 650.2),
+                ("07/01/2020", "10:15", 675.9),
+                ("07/01/2020", "10:30", 640.1),
+            ],
+        )
+        trace = load_midc_csv(path)
+        assert trace.interval_s == 900.0
+        assert trace.at(0.0) == pytest.approx(650.2)
+        assert trace.name == "midc"
+
+    def test_clamps_negative_night_readings(self, tmp_path):
+        from repro.traces.nrel import load_midc_csv
+
+        path = tmp_path / "midc.csv"
+        self._write_midc(
+            path,
+            [
+                ("07/01/2020", "02:00", -1.8),
+                ("07/01/2020", "02:15", -2.1),
+            ],
+        )
+        trace = load_midc_csv(path)
+        assert trace.at(0.0) == 0.0
+
+    def test_crosses_midnight(self, tmp_path):
+        from repro.traces.nrel import load_midc_csv
+
+        path = tmp_path / "midc.csv"
+        self._write_midc(
+            path,
+            [
+                ("07/01/2020", "23:45", 0.0),
+                ("07/02/2020", "00:00", 0.0),
+                ("07/02/2020", "00:15", 0.0),
+            ],
+        )
+        trace = load_midc_csv(path)
+        assert trace.interval_s == 900.0
+
+    def test_missing_ghi_column_rejected(self, tmp_path):
+        from repro.traces.nrel import load_midc_csv
+
+        path = tmp_path / "midc.csv"
+        self._write_midc(path, [("07/01/2020", "10:00", 1.0)], ghi_header="Diffuse")
+        with pytest.raises(TraceError):
+            load_midc_csv(path)
+
+    def test_bad_row_rejected(self, tmp_path):
+        from repro.traces.nrel import load_midc_csv
+
+        path = tmp_path / "midc.csv"
+        self._write_midc(path, [("07/01/2020", "oops", 1.0), ("07/01/2020", "10:15", 2.0)])
+        with pytest.raises(TraceError):
+            load_midc_csv(path)
+
+    def test_loaded_trace_drives_a_farm(self, tmp_path):
+        from repro.power.solar import SolarFarm
+        from repro.traces.nrel import load_midc_csv
+
+        path = tmp_path / "midc.csv"
+        self._write_midc(
+            path,
+            [("07/01/2020", f"{10 + i // 4:02d}:{(i % 4) * 15:02d}", 500.0 + i)
+             for i in range(8)],
+        )
+        farm = SolarFarm.sized_for(load_midc_csv(path), peak_power_w=1500.0)
+        assert farm.power_at(0.0) > 0.0

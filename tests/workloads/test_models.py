@@ -1,0 +1,138 @@
+"""Ground-truth workload response parameters."""
+
+import pytest
+
+from repro.errors import IncompatibleWorkloadError, UnknownWorkloadError
+from repro.servers.platform import get_platform
+from repro.workloads.catalog import WORKLOADS, Workload, WorkloadKind, get_workload
+from repro.workloads.models import (
+    WorkloadResponse,
+    register_workload,
+    response_for,
+)
+
+
+class TestTableSync:
+    def test_every_catalog_entry_has_a_response(self):
+        for name in WORKLOADS:
+            assert response_for(name).workload == name
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(UnknownWorkloadError):
+            response_for("CrysisBenchmark")
+
+    def test_lookup_by_workload_object(self):
+        wl = get_workload("SPECjbb")
+        assert response_for(wl).workload == "SPECjbb"
+
+
+class TestCalibration:
+    """The qualitative behaviours the paper's evaluation depends on."""
+
+    def test_streamcluster_most_frequency_sensitive(self):
+        sc = response_for("Streamcluster").frequency_sensitivity
+        for name in WORKLOADS:
+            assert response_for(name).frequency_sensitivity <= sc
+
+    def test_memcached_least_frequency_sensitive(self):
+        mc = response_for("Memcached").frequency_sensitivity
+        for name in WORKLOADS:
+            assert response_for(name).frequency_sensitivity >= mc
+
+    def test_interactive_run_below_saturation(self):
+        # Section III-C: production interactive clusters run at low
+        # utilisation.
+        assert response_for("Memcached").utilization_scale <= 0.5
+        assert response_for("Web-search").utilization_scale <= 0.8
+
+    def test_batch_workloads_saturate(self):
+        for name in ("Streamcluster", "Canneal", "X264"):
+            assert response_for(name).utilization_scale == 1.0
+
+    def test_mcf_is_single_threaded(self):
+        assert response_for("Mcf").single_threaded
+
+    def test_srad_is_most_gpu_friendly(self):
+        srad = response_for("Srad_v1").gpu_speedup
+        for name in ("Streamcluster", "Particlefilter", "Cfd"):
+            assert response_for(name).gpu_speedup <= srad
+
+    def test_cfd_gpu_speedup_near_one(self):
+        # Fig. 14: Cfd performs about the same on CPU and GPU.
+        assert response_for("Cfd").gpu_speedup == pytest.approx(1.0, abs=0.5)
+
+    def test_non_gpu_workloads_have_no_speedup(self):
+        assert response_for("SPECjbb").gpu_speedup is None
+
+
+class TestCapability:
+    def test_single_threaded_ignores_cores(self):
+        mcf = response_for("Mcf")
+        e5 = get_platform("E5-2620")   # 12 cores, 2.0 GHz
+        i5 = get_platform("i5-4460")   # 4 cores, 3.2 GHz
+        # Single-threaded: the high-clocked i5 wins despite fewer cores.
+        assert mcf.capability(i5) > mcf.capability(e5)
+
+    def test_parallel_scales_with_cores(self):
+        sc = response_for("Freqmine")
+        e5 = get_platform("E5-2620")
+        e5_small = get_platform("E5-2603")
+        assert sc.capability(e5) > sc.capability(e5_small)
+
+    def test_affinity_multiplier_applies(self):
+        jbb = response_for("SPECjbb")
+        i5 = get_platform("i5-4460")
+        base = i5.cores * 3.2 * 1.1  # cores * GHz * IPC factor
+        assert jbb.capability(i5) == pytest.approx(base * 1.18)
+
+    def test_max_throughput_on_gpu_uses_speedup(self):
+        srad = response_for("Srad_v1")
+        gpu = get_platform("TitanXp")
+        ref = get_platform("E5-2620")
+        assert srad.max_throughput(gpu) == pytest.approx(
+            srad.gpu_speedup * srad.max_throughput(ref)
+        )
+
+    def test_gpu_rejects_cpu_only_workload(self):
+        with pytest.raises(IncompatibleWorkloadError):
+            response_for("SPECjbb").max_throughput(get_platform("TitanXp"))
+
+    def test_runs_on(self):
+        assert response_for("Srad_v1").runs_on(get_platform("TitanXp"))
+        assert not response_for("SPECjbb").runs_on(get_platform("TitanXp"))
+        assert response_for("SPECjbb").runs_on(get_platform("i5-4460"))
+
+
+class TestRegistration:
+    def _new_pair(self, name="TestService"):
+        wl = Workload(name, "Custom", WorkloadKind.BATCH, "ops")
+        resp = WorkloadResponse(
+            workload=name,
+            base_rate=100.0,
+            frequency_sensitivity=0.7,
+            power_intensity=0.8,
+        )
+        return wl, resp
+
+    def test_register_and_use(self):
+        wl, resp = self._new_pair()
+        register_workload(wl, resp)
+        try:
+            assert get_workload("TestService").suite == "Custom"
+            assert response_for("TestService").base_rate == 100.0
+        finally:
+            from repro.workloads.catalog import WORKLOADS
+            from repro.workloads import models
+            del WORKLOADS["TestService"]
+            del models._RESPONSES["TestService"]
+
+    def test_duplicate_rejected(self):
+        wl, resp = self._new_pair("SPECjbb")
+        with pytest.raises(UnknownWorkloadError):
+            register_workload(wl, resp)
+
+    def test_mismatched_names_rejected(self):
+        wl, _ = self._new_pair("NameA")
+        _, resp = self._new_pair("NameB")
+        with pytest.raises(UnknownWorkloadError):
+            register_workload(wl, resp)
