@@ -8,15 +8,23 @@ fall.  Absolute magnitudes are not asserted tightly: the substrate is a
 simulator, not the authors' testbed (see EXPERIMENTS.md).
 
 ``run_cached`` memoises experiment runs per session so Fig. 9 and
-Fig. 10 (same runs, different metrics) don't pay twice.
+Fig. 10 (same runs, different metrics) don't pay twice.  Runs go
+through :mod:`repro.sim.runner`, so ``REPRO_BENCH_JOBS`` (default:
+up to 4 workers) fans the policies of each experiment out over a
+process pool — telemetry is bit-identical at any worker count.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis.reporting import format_series, format_table
-from repro.sim.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.sim.experiment import ExperimentConfig, ExperimentResult
+from repro.sim.runner import run_experiment
+
+_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", str(min(4, os.cpu_count() or 1))))
 
 _CACHE: dict[ExperimentConfig, ExperimentResult] = {}
 
@@ -24,7 +32,7 @@ _CACHE: dict[ExperimentConfig, ExperimentResult] = {}
 def run_cached(config: ExperimentConfig) -> ExperimentResult:
     """Run an experiment once per session (configs are frozen/hashable)."""
     if config not in _CACHE:
-        _CACHE[config] = run_experiment(config)
+        _CACHE[config] = run_experiment(config, jobs=_JOBS)
     return _CACHE[config]
 
 

@@ -15,7 +15,7 @@ Two operating-point questions the paper fixes by fiat:
 
 import numpy as np
 
-from benchmarks.conftest import once
+from benchmarks.conftest import once, run_cached
 from repro.core.monitor import Monitor
 from repro.core.policies import make_policy
 from repro.sim.clock import SimClock
@@ -33,9 +33,7 @@ def run_epoch_sweep():
         cfg = ExperimentConfig(
             days=1.0, epoch_s=minutes * 60.0, policies=("Uniform", "GreenHetero")
         )
-        from repro.sim.experiment import run_experiment
-
-        res = run_experiment(cfg)
+        res = run_cached(cfg)
         out[minutes] = res.gain("GreenHetero")
     return out
 

@@ -1,0 +1,121 @@
+"""Microbench — parallel experiment runner and solver memoization.
+
+Two claims the runner makes, measured:
+
+* **Fan-out wins wall time, not telemetry.**  The five Table III
+  policies of one config are independent stacks, so spreading them over
+  a process pool should approach ``min(jobs, n_policies)``-way speedup
+  while every :class:`EpochRecord` stays bit-identical to the serial
+  path.
+* **The solve cache earns its keep under cyclic budgets.**  The
+  constrained-supply sweep re-poses the same PAR program every time the
+  budget cycle wraps; with a static database (GreenHetero-a) the group
+  fits never change, so most solves after the first cycle should be
+  cache hits.
+
+Results land in ``BENCH_parallel_runner.json`` at the repo root (CI
+uploads it as an artifact).  The speedup assertion is gated on the
+host's core count — a 1-core runner can only verify bit-identity.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import once
+from repro.core.policies import make_policy
+from repro.sim.engine import Simulation
+from repro.sim.experiment import ExperimentConfig
+from repro.sim.runner import run_experiment
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_parallel_runner.json"
+
+#: The full Table III policy set on a short window: enough epochs for the
+#: pool's fork/pickle overhead to amortise, short enough for CI.
+FANOUT_CONFIG = ExperimentConfig(days=0.25)
+FANOUT_JOBS = min(4, os.cpu_count() or 1)
+
+
+def _timed_run(jobs: int):
+    start = time.perf_counter()
+    result = run_experiment(FANOUT_CONFIG, jobs=jobs)
+    return result, time.perf_counter() - start
+
+
+def run_fanout():
+    serial, serial_s = _timed_run(jobs=1)
+    parallel, parallel_s = _timed_run(jobs=FANOUT_JOBS)
+    identical = all(
+        list(serial.log(name)) == list(parallel.log(name))
+        for name in FANOUT_CONFIG.policies
+    )
+    return {
+        "policies": list(FANOUT_CONFIG.policies),
+        "days": FANOUT_CONFIG.days,
+        "jobs": FANOUT_JOBS,
+        "cpu_count": os.cpu_count() or 1,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+        "bit_identical": identical,
+    }
+
+
+def run_cache_study():
+    cfg = ExperimentConfig.insufficient_supply(
+        "SPECjbb", policies=("GreenHetero-a",)
+    )
+    policy = make_policy("GreenHetero-a")
+    sim = Simulation.assemble(
+        policy=policy,
+        rack=cfg.build_rack(),
+        clock=cfg.build_clock(),
+        seed=cfg.seed,
+        supply_fractions=cfg.supply_fractions,
+    )
+    sim.run()
+    return policy.solver.cache_info()
+
+
+def test_parallel_fanout_and_solver_cache(benchmark, reporter):
+    fanout = once(benchmark, run_fanout)
+    cache = run_cache_study()
+
+    payload = {"fanout": fanout, "solver_cache": cache}
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    reporter.table(
+        ["metric", "value"],
+        [
+            ["cores", fanout["cpu_count"]],
+            ["jobs", fanout["jobs"]],
+            ["serial", f"{fanout['serial_s']:.2f} s"],
+            ["parallel", f"{fanout['parallel_s']:.2f} s"],
+            ["speedup", f"{fanout['speedup']:.2f}x"],
+            ["bit-identical", fanout["bit_identical"]],
+        ],
+        title=f"policy fan-out, {len(fanout['policies'])} policies x {fanout['days']:g} days",
+    )
+    reporter.table(
+        ["metric", "value"],
+        [
+            ["hits", cache["hits"]],
+            ["misses", cache["misses"]],
+            ["hit rate", f"{cache['hit_rate']:.0%}"],
+        ],
+        title="solve cache, GreenHetero-a on the constrained-supply sweep",
+    )
+    reporter.line(f"wrote {RESULT_PATH.name}")
+
+    # Parallelism must never change the telemetry.
+    assert fanout["bit_identical"]
+    # The speedup claim needs actual cores to stand on.
+    if fanout["cpu_count"] >= 4 and fanout["jobs"] >= 4:
+        assert fanout["speedup"] >= 2.0
+    elif fanout["cpu_count"] >= 2 and fanout["jobs"] >= 2:
+        assert fanout["speedup"] >= 1.2
+    # Cyclic budgets on a static database: mostly repeat programs.
+    assert cache["hit_rate"] > 0.5

@@ -50,6 +50,7 @@ def main() -> None:
         platforms=(("E5-2620", 5), ("Altra-Q80", 5)),
         workload="LogAnalytics",
         policies=("Uniform", "GreenHetero"),
+        grid_budget_w=None,  # the constrained-supply sweep disables the grid
         supply_fractions=ExperimentConfig.INSUFFICIENT_SWEEP,
         days=0.5,
     )

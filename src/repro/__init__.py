@@ -62,6 +62,7 @@ from repro.core.predictor import HoltPredictor
 from repro.core.solver import PARSolver
 from repro.sim.engine import Simulation
 from repro.sim.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.sim.runner import run_experiments
 
 __all__ = [
     "__version__",
@@ -82,4 +83,5 @@ __all__ = [
     "effective_power_utilization",
     "make_policy",
     "run_experiment",
+    "run_experiments",
 ]

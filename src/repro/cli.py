@@ -35,7 +35,8 @@ from repro.core.policies import POLICY_NAMES
 from repro.errors import ReproError
 from repro.servers.platform import get_platform
 from repro.servers.power_model import ResponseCurve
-from repro.sim.experiment import COMBINATIONS, ExperimentConfig, run_experiment
+from repro.sim.experiment import COMBINATIONS, ExperimentConfig
+from repro.sim.runner import run_experiment, run_experiments
 from repro.traces.nrel import Weather, synthesize_irradiance
 
 
@@ -67,7 +68,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         policies=tuple(args.policies),
         seed=args.seed,
     )
-    result = run_experiment(config)
+    result = run_experiment(config, jobs=args.jobs)
     baseline = "Uniform" if "Uniform" in config.policies else config.policies[0]
     rows = []
     for name in config.policies:
@@ -109,15 +110,19 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    rows = []
-    for workload in args.workloads:
-        config = ExperimentConfig.insufficient_supply(
+    configs = [
+        ExperimentConfig.insufficient_supply(
             workload,
             platforms=_parse_platforms(args.platforms),
             policies=tuple(args.policies),
             seed=args.seed,
         )
-        result = run_experiment(config)
+        for workload in args.workloads
+    ]
+    # One batch: every (workload, policy) pair fans out together.
+    results = run_experiments(configs, jobs=args.jobs)
+    rows = []
+    for workload, config, result in zip(args.workloads, configs, results):
         baseline = "Uniform" if "Uniform" in config.policies else config.policies[0]
         rows.append(
             [workload]
@@ -166,12 +171,15 @@ def cmd_case_study(args: argparse.Namespace) -> int:
 
 
 def cmd_combos(args: argparse.Namespace) -> int:
-    rows = []
-    for name in args.names:
-        config = ExperimentConfig.combination_sweep(
+    configs = [
+        ExperimentConfig.combination_sweep(
             name, args.workload, policies=("Uniform", "GreenHetero"), seed=args.seed
         )
-        result = run_experiment(config)
+        for name in args.names
+    ]
+    results = run_experiments(configs, jobs=args.jobs)
+    rows = []
+    for name, result in zip(args.names, results):
         platforms = "+".join(p for p, _ in COMBINATIONS[name])
         rows.append([name, platforms, f"{result.gain('GreenHetero'):.2f}x"])
     print(
@@ -319,6 +327,11 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("--seed", type=int, default=2021)
         p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for the policy fan-out (1 = serial, "
+            "0 or negative is rejected); results are identical at any value",
+        )
+        p.add_argument(
             "--platforms",
             default="E5-2620:5,i5-4460:5",
             help="rack groups, e.g. 'E5-2620:5,i5-4460:5'",
@@ -366,6 +379,10 @@ def build_parser() -> argparse.ArgumentParser:
     combos_p.add_argument("--names", nargs="+", default=[f"Comb{i}" for i in range(1, 6)])
     combos_p.add_argument("--workload", default="SPECjbb")
     combos_p.add_argument("--seed", type=int, default=2021)
+    combos_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the combination fan-out (1 = serial)",
+    )
     combos_p.set_defaults(func=cmd_combos)
 
     figures_p = sub.add_parser(

@@ -87,6 +87,10 @@ class EpochRecord:
     curtailed_w: float
     trained_pairs: tuple[tuple[str, str], ...]
     brownout: bool
+    #: Epoch-mean of the Monitor's per-substep renewable meter readings —
+    #: the value the predictor feedback consumes (``renewable_w`` is the
+    #: noise-free mean).  Defaults to 0.0 for records built by hand.
+    renewable_metered_w: float = 0.0
     #: Servers powered per group (the partial-group extension); ``None``
     #: means all servers shared their group's budget.
     powered_counts: tuple[int, ...] | None = None
@@ -261,10 +265,11 @@ class GreenHeteroController:
             plan.projected_perf,
         )
 
-        # End-of-epoch observation feeds the next forecast.
-        self.scheduler.observe(
-            self.monitor.observe_renewable(record.renewable_w), demand_now
-        )
+        # End-of-epoch observation feeds the next forecast.  Each substep
+        # was metered exactly once inside `_execute_substeps`; feeding the
+        # mean of those readings avoids jittering an already-averaged
+        # value a second time.
+        self.scheduler.observe(record.renewable_metered_w, demand_now)
         return record
 
     # ------------------------------------------------------------------
@@ -360,6 +365,7 @@ class GreenHeteroController:
         perf_sum = 0.0
         useful_sum = 0.0
         renewable_sum = 0.0
+        metered_renewable_sum = 0.0
         r2l = b2l = g2l = charge = curtailed = 0.0
         charge_source = ChargeSource.NONE
         brownout = False
@@ -393,6 +399,11 @@ class GreenHeteroController:
             perf_sum += perf_total
             useful_sum += useful
             renewable_sum += flows.renewable_available_w
+            # The PV sensor is read once per substep, like every other
+            # meter; the epoch aggregate is the mean of those readings.
+            metered_renewable_sum += self.monitor.observe_renewable(
+                flows.renewable_available_w
+            )
             r2l += flows.breakdown.renewable_to_load_w
             b2l += flows.breakdown.battery_to_load_w
             g2l += flows.breakdown.grid_to_load_w
@@ -429,6 +440,7 @@ class GreenHeteroController:
             curtailed_w=curtailed / n,
             trained_pairs=trained,
             brownout=brownout,
+            renewable_metered_w=metered_renewable_sum / n,
             powered_counts=powered_counts,
             projected_perf=projected_perf,
         )

@@ -140,6 +140,37 @@ class HoltPredictor:
             trend = beta * (level - prev_level) + (1.0 - beta) * trend
         return float(total)
 
+    @staticmethod
+    def sse_batch(
+        history: Sequence[float],
+        alphas: np.ndarray,
+        betas: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised :meth:`sse` over parallel arrays of (alpha, beta).
+
+        Runs the scoring recursion once over the history with the whole
+        candidate set as a vector, instead of once per candidate — the
+        same floating-point operations in the same order per element, so
+        each entry is bit-identical to the scalar :meth:`sse`.
+        """
+        data = np.asarray(history, dtype=float)
+        if len(data) < 3:
+            raise ConfigurationError("need at least 3 observations to score")
+        alphas = np.asarray(alphas, dtype=float)
+        betas = np.asarray(betas, dtype=float)
+        if alphas.shape != betas.shape:
+            raise ConfigurationError("alphas and betas must have the same shape")
+        level = np.full(alphas.shape, data[0])
+        trend = np.full(alphas.shape, data[1] - data[0])
+        total = np.zeros(alphas.shape)
+        for obs in data[1:]:
+            prediction = level + trend
+            total += (obs - prediction) ** 2
+            prev_level = level
+            level = alphas * obs + (1.0 - alphas) * (level + trend)
+            trend = betas * (level - prev_level) + (1.0 - betas) * trend
+        return total
+
     @classmethod
     def fit(
         cls,
@@ -157,15 +188,16 @@ class HoltPredictor:
         if len(data) < 3:
             raise ConfigurationError("need at least 3 observations to fit")
 
+        # One vectorised scoring pass over the whole (alpha, beta) grid;
+        # argmin keeps the first minimum, matching the scalar scan's
+        # strict-improvement rule in the same (alpha-major) order.
         grid = np.linspace(0.0, 1.0, grid_steps)
-        best = (0.5, 0.3)
-        best_sse = np.inf
-        for a in grid:
-            for b in grid:
-                score = cls.sse(data, float(a), float(b))
-                if score < best_sse:
-                    best_sse = score
-                    best = (float(a), float(b))
+        alphas = np.repeat(grid, grid_steps)
+        betas = np.tile(grid, grid_steps)
+        scores = cls.sse_batch(data, alphas, betas)
+        winner = int(np.argmin(scores))
+        best = (float(alphas[winner]), float(betas[winner]))
+        best_sse = float(scores[winner])
 
         result = optimize.minimize(
             lambda x: cls.sse(data, x[0], x[1]),

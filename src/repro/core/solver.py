@@ -121,7 +121,18 @@ class PARSolver:
         Simplex step used when there are 3 or more groups.
     max_groups:
         Sanity bound; the paper's rack-level deployment caps at 3 types.
+    cache_size:
+        Capacity of the per-instance solve memoization cache (``0``
+        disables it).  Solutions are keyed on the group fits'
+        coefficients and bounds, the group counts, and the budget
+        quantized to :data:`CACHE_BUDGET_QUANTUM_W` — so the cyclic
+        budgets of a constrained-supply sweep, which re-pose the exact
+        same program dozens of times per run, solve once.
     """
+
+    #: Budget quantization step (W) for the memoization key.  Far below
+    #: meter noise, so only numerically identical programs ever collide.
+    CACHE_BUDGET_QUANTUM_W = 1e-6
 
     def __init__(
         self,
@@ -130,6 +141,7 @@ class PARSolver:
         max_groups: int = 4,
         safety_margin: float = 0.05,
         scipy_polish: bool = True,
+        cache_size: int = 1024,
     ) -> None:
         if not 0.0 < granularity <= 0.5:
             raise SolverError("granularity must be in (0, 0.5]")
@@ -137,11 +149,17 @@ class PARSolver:
             raise SolverError("coarse granularity must be in (0, 0.5]")
         if safety_margin < 0:
             raise SolverError("safety margin must be non-negative")
+        if cache_size < 0:
+            raise SolverError("cache size must be non-negative")
         self.granularity = granularity
         self.coarse_granularity = coarse_granularity
         self.max_groups = max_groups
         self.safety_margin = safety_margin
         self.scipy_polish = scipy_polish
+        self.cache_size = cache_size
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._cache: dict[tuple, PARSolution] = {}
 
     def _lo(self, fit: PerfPowerFit) -> float:
         """Effective lower power bound for allocation decisions.
@@ -160,11 +178,40 @@ class PARSolver:
     def solve(self, groups: Sequence[GroupModel], total_power_w: float) -> PARSolution:
         """Maximise projected rack performance under ``total_power_w``.
 
+        Solutions are memoized per instance (see ``cache_size``): a call
+        whose groups carry the same fitted coefficients/bounds and counts
+        under the same quantized budget returns the cached
+        :class:`PARSolution` (frozen, so sharing is safe) without
+        re-running the enumeration.
+
         Raises
         ------
         SolverError
             On empty input, too many groups, or a negative budget.
         """
+        self._validate_inputs(groups, total_power_w)
+        if self.cache_size == 0:
+            return self._solve_impl(groups, total_power_w)
+        key = self._cache_key(groups, total_power_w)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        solution = self._solve_impl(groups, total_power_w)
+        if len(self._cache) >= self.cache_size:
+            # FIFO eviction: dict preserves insertion order and the
+            # adaptive policies retire old fits monotonically.
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = solution
+        return solution
+
+    # ------------------------------------------------------------------
+    # Memoization
+    # ------------------------------------------------------------------
+    def _validate_inputs(
+        self, groups: Sequence[GroupModel], total_power_w: float
+    ) -> None:
         if not groups:
             raise SolverError("need at least one group")
         if len(groups) > self.max_groups:
@@ -174,6 +221,36 @@ class PARSolver:
         if total_power_w < 0:
             raise SolverError(f"budget must be non-negative, got {total_power_w}")
 
+    def _cache_key(
+        self, groups: Sequence[GroupModel], total_power_w: float
+    ) -> tuple:
+        return (
+            tuple(
+                (g.count, g.fit.coefficients, g.fit.min_power_w, g.fit.max_power_w)
+                for g in groups
+            ),
+            round(total_power_w / self.CACHE_BUDGET_QUANTUM_W),
+        )
+
+    def cache_info(self) -> dict[str, float]:
+        """Hit/miss counters and the current hit rate of the solve cache."""
+        total = self.cache_hits + self.cache_misses
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "size": len(self._cache),
+            "hit_rate": self.cache_hits / total if total else 0.0,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop all memoized solutions and reset the counters."""
+        self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def _solve_impl(
+        self, groups: Sequence[GroupModel], total_power_w: float
+    ) -> PARSolution:
         k = len(groups)
         zero = PARSolution((0.0,) * k, (0.0,) * k, 0.0, "kkt")
         if total_power_w == 0:
@@ -482,26 +559,16 @@ class PartialGroupSolver(PARSolver):
     is the base class's exact KKT enumeration with counts ``k``.
     """
 
-    def solve(self, groups: Sequence[GroupModel], total_power_w: float) -> PARSolution:
+    def _solve_impl(
+        self, groups: Sequence[GroupModel], total_power_w: float
+    ) -> PARSolution:
         """Maximise projected performance, also choosing powered counts.
 
         Returns a :class:`PARSolution` whose ``powered_counts`` states
         how many servers of each group share that group's budget.
-
-        Raises
-        ------
-        SolverError
-            On empty input, too many groups, or a negative budget.
+        Reached through the base class's :meth:`solve`, which validates
+        inputs and memoizes solutions.
         """
-        if not groups:
-            raise SolverError("need at least one group")
-        if len(groups) > self.max_groups:
-            raise SolverError(
-                f"{len(groups)} groups exceeds max_groups={self.max_groups}"
-            )
-        if total_power_w < 0:
-            raise SolverError(f"budget must be non-negative, got {total_power_w}")
-
         combinations = 1
         for g in groups:
             combinations *= g.count + 1

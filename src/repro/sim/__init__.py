@@ -11,6 +11,7 @@ from repro.sim.experiment import (
     PolicySummary,
     run_experiment,
 )
+from repro.sim.runner import run_experiments
 from repro.sim.telemetry import TelemetryLog
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "WorkloadPhase",
     "WorkloadSchedule",
     "run_experiment",
+    "run_experiments",
 ]

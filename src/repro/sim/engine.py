@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.controller import GreenHeteroController
+from repro.core.controller import EpochRecord, GreenHeteroController
 from repro.core.database import FitKind, ProfilingDatabase
 from repro.core.monitor import Monitor
 from repro.core.policies import Policy
@@ -100,10 +100,12 @@ class Simulation:
         grid_budget_w:
             Grid cap; ``None`` picks 75% of the rack's maximum draw,
             matching the paper's deliberately under-provisioned 1000 W
-            for its ~1.3 kW rack.
+            for its ~1.3 kW rack.  Mutually exclusive with
+            ``supply_fractions`` (which disables the grid).
         battery:
             Battery bank; the paper's 10 x 12 V x 100 Ah default when
-            omitted.
+            omitted.  Mutually exclusive with ``supply_fractions``
+            (which fixes an effectively unlimited bank).
         diurnal_load:
             Whether interactive workloads follow the diurnal pattern.
         seed:
@@ -127,12 +129,18 @@ class Simulation:
             raise ConfigurationError("solar scale must be positive")
         clock = clock or SimClock()
         if trace is None:
-            n_days = max(7.0, (clock.start_s + clock.duration_s) / 86400.0)
-            trace = synthesize_irradiance(days=n_days, weather=weather, seed=seed)
+            trace = cls.default_trace(clock, weather, seed)
         solar = SolarFarm.sized_for(trace, peak_power_w=solar_scale * rack.max_draw_w)
         if supply_fractions is not None:
             if not supply_fractions or any(f <= 0 for f in supply_fractions):
                 raise ConfigurationError("supply fractions must be positive")
+            if battery is not None or grid_budget_w is not None:
+                raise ConfigurationError(
+                    "supply_fractions fixes the battery (unlimited) and the "
+                    "grid (disabled); a caller-supplied battery or "
+                    "grid_budget_w would be silently discarded — drop them "
+                    "or drop supply_fractions"
+                )
             # Constrained-supply mode: an effectively unlimited battery
             # and no grid — the override below is the only scarcity.
             battery = BatteryBank(count=1000)
@@ -178,13 +186,43 @@ class Simulation:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _build_generator(rack: Rack, diurnal_load: bool, seed: int) -> LoadGenerator:
+    def default_trace(clock: SimClock, weather: Weather, seed: int) -> IrradianceTrace:
+        """The standard irradiance trace for a run on ``clock``.
+
+        Long enough to cover the simulated window plus the pretraining
+        history (at least the paper's one-week trace).  Factored out so
+        the experiment runner can synthesize it once and share it across
+        every policy of a config instead of re-deriving it per policy.
+        """
+        n_days = max(7.0, (clock.start_s + clock.duration_s) / 86400.0)
+        return synthesize_irradiance(days=n_days, weather=weather, seed=seed)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _lead_workload(rack: Rack):
+        """The workload whose offered load drives the generator.
+
+        The diurnal request stream only exists for interactive services,
+        so on co-located racks the lead is the *first interactive* group's
+        workload, wherever it sits in PAR order; all-batch racks fall
+        back to group 0 (saturating load either way).  When several
+        interactive workloads co-locate, the first one's diurnal pattern
+        drives them all — `_samples_for_states` balances each workload's
+        groups separately against that shared offered fraction.
+        """
+        for group in rack.groups:
+            if group.workload.is_interactive:
+                return group.workload
+        return rack.groups[0].workload
+
+    @classmethod
+    def _build_generator(cls, rack: Rack, diurnal_load: bool, seed: int) -> LoadGenerator:
         """Offered-load generator for the rack's (current) lead workload.
 
         Interactive workloads follow the diurnal pattern scaled by their
         typical datacenter utilisation; batch workloads ignore it.
         """
-        workload = rack.groups[0].workload
+        workload = cls._lead_workload(rack)
         util = response_for(workload).utilization_scale
         pattern = None
         if diurnal_load:
@@ -213,7 +251,7 @@ class Simulation:
         solar = self.controller.pdu.renewable
         rack = self.controller.rack
         renewable_history = [solar.power_at(t) for t in history_times]
-        if pattern is not None and rack.groups[0].workload.is_interactive:
+        if pattern is not None and self._lead_workload(rack).is_interactive:
             demand_history = [rack.demand_at_load(pattern(t)) for t in history_times]
         else:
             demand_history = [rack.demand_at_load(1.0) for _ in history_times]
@@ -221,24 +259,29 @@ class Simulation:
 
     # ------------------------------------------------------------------
     def run(self) -> TelemetryLog:
-        """Execute every epoch on the clock; returns the telemetry log."""
-        for t in self.clock.epoch_times():
-            if self.faults is not None:
-                self.faults.apply(self.controller, t)
-            self._apply_schedule(t)
-            load = self.load_generator.at(t)
-            record = self.controller.run_epoch(t, load_fraction=load.fraction)
-            self.log.append(record)
+        """Execute every remaining epoch on the clock; returns the log.
+
+        Stepping and running share one per-epoch code path: a run is
+        exactly ``n_epochs`` calls to :meth:`step`, so a partially
+        stepped simulation can be completed with :meth:`run`.
+        """
+        while len(self.log) < self.clock.n_epochs:
+            self.step()
         return self.log
 
-    def step(self) -> None:
-        """Run a single epoch (for incremental/driving use)."""
-        n_done = len(self.log)
-        t = self.clock.start_s + n_done * self.clock.epoch_s
-        if t >= self.clock.start_s + self.clock.duration_s:
+    def step(self) -> "EpochRecord":
+        """Run a single epoch (for incremental/driving use).
+
+        Returns the epoch's :class:`~repro.core.controller.EpochRecord`
+        (also appended to :attr:`log`).
+        """
+        if len(self.log) >= self.clock.n_epochs:
             raise ConfigurationError("simulation already complete")
+        t = self.clock.start_s + len(self.log) * self.clock.epoch_s
         if self.faults is not None:
             self.faults.apply(self.controller, t)
         self._apply_schedule(t)
         load = self.load_generator.at(t)
-        self.log.append(self.controller.run_epoch(t, load_fraction=load.fraction))
+        record = self.controller.run_epoch(t, load_fraction=load.fraction)
+        self.log.append(record)
+        return record

@@ -18,11 +18,10 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.database import FitKind
-from repro.core.policies import POLICY_NAMES, make_policy
+from repro.core.policies import POLICY_NAMES
 from repro.errors import ConfigurationError
 from repro.servers.rack import Rack
 from repro.sim.clock import SimClock
-from repro.sim.engine import Simulation
 from repro.sim.telemetry import TelemetryLog
 from repro.traces.nrel import Weather
 from repro.units import EPOCH_SECONDS, SECONDS_PER_DAY
@@ -66,7 +65,8 @@ class ExperimentConfig:
     solar_scale:
         PV clear-sky peak over rack maximum draw.
     grid_budget_w:
-        Grid cap; ``None`` = 75% of rack maximum draw.
+        Grid cap; ``None`` = 75% of rack maximum draw.  Must be ``None``
+        when ``supply_fractions`` is set (the sweep disables the grid).
     policies:
         Which Table III policies to run.
     seed:
@@ -107,6 +107,12 @@ class ExperimentConfig:
             raise ConfigurationError("days must be positive")
         if not self.policies:
             raise ConfigurationError("at least one policy is required")
+        if self.supply_fractions is not None and self.grid_budget_w is not None:
+            raise ConfigurationError(
+                "supply_fractions and grid_budget_w conflict: the "
+                "constrained-supply sweep disables the grid, so a grid "
+                "budget would be silently ignored — set grid_budget_w=None"
+            )
 
     # ------------------------------------------------------------------
     # Named scenarios
@@ -146,6 +152,7 @@ class ExperimentConfig:
             name,
             workload,
             days=overrides.pop("days", 0.5),
+            grid_budget_w=None,
             supply_fractions=cls.INSUFFICIENT_SWEEP,
             budget_reference_w=reference,
         )
@@ -162,6 +169,7 @@ class ExperimentConfig:
         base = cls(
             workload=workload,
             days=overrides.pop("days", 0.5),
+            grid_budget_w=None,
             supply_fractions=cls.INSUFFICIENT_SWEEP,
         )
         return replace(base, **overrides)
@@ -263,27 +271,16 @@ class ExperimentResult:
         return {name: self.gain(name, metric) for name in self.logs}
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+def run_experiment(config: ExperimentConfig, jobs: int = 1) -> ExperimentResult:
     """Run every configured policy over identical traces and noise.
 
     Each policy gets a freshly built stack seeded identically, so the
     solar trace, the offered load, and the measurement-noise stream are
-    bit-identical across policies.
+    bit-identical across policies.  ``jobs > 1`` fans the policy runs
+    out over a process pool (see :mod:`repro.sim.runner`); the merged
+    result is bit-identical to the serial path because every policy's
+    stack is independently assembled and seeded either way.
     """
-    result = ExperimentResult(config=config)
-    for name in config.policies:
-        sim = Simulation.assemble(
-            policy=make_policy(name),
-            rack=config.build_rack(),
-            weather=config.weather,
-            clock=config.build_clock(),
-            solar_scale=config.solar_scale,
-            grid_budget_w=config.grid_budget_w,
-            diurnal_load=config.diurnal_load,
-            seed=config.seed,
-            fit_kind=config.fit_kind,
-            supply_fractions=config.supply_fractions,
-            budget_reference_w=config.budget_reference_w,
-        )
-        result.logs[name] = sim.run()
-    return result
+    from repro.sim.runner import run_experiment as _run  # avoids an import cycle
+
+    return _run(config, jobs=jobs)

@@ -146,3 +146,82 @@ class TestLoadBalancing:
         full = ctl._measure_rack((5 * 150.0, 5 * 80.0), 1.0)
         half = ctl._measure_rack((5 * 150.0, 5 * 80.0), 0.4)
         assert 0.0 < half < full
+
+
+class ConstantSource:
+    """A renewable source with flat output (PDU duck-types power_at)."""
+
+    def __init__(self, power_w: float) -> None:
+        self.power_w = power_w
+
+    def power_at(self, time_s: float) -> float:
+        return self.power_w
+
+
+class TestPredictorFeedback:
+    """The renewable feedback is metered per substep, jittered once.
+
+    Regression for a double-jitter bug: the controller used to feed the
+    predictor ``observe_renewable(record.renewable_w)`` — re-metering an
+    epoch *mean* that conceptually already passed through the sensor —
+    which both mis-scaled the noise (a mean of 6 readings has sigma/sqrt(6))
+    and consumed an extra RNG draw.
+    """
+
+    PV_W = 500.0
+
+    def make_controller(self, seed=42):
+        import numpy as np
+
+        rack = Rack([("E5-2620", 5), ("i5-4460", 5)], "SPECjbb")
+        pdu = PDU(ConstantSource(self.PV_W), BatteryBank(), GridSource(budget_w=1000.0))
+        monitor = Monitor(
+            power_noise=0.0, perf_noise=0.0, renewable_noise=0.01, seed=seed
+        )
+        ctl = GreenHeteroController(
+            rack=rack, pdu=pdu, policy=make_policy("Uniform"), monitor=monitor
+        )
+        ctl.prime_predictors([self.PV_W] * 96, [1000.0] * 96)
+        return ctl, np.random.default_rng(seed)
+
+    def expected_readings(self, rng, n):
+        # With only renewable_noise non-zero, the Monitor's RNG advances
+        # exactly once per observe_renewable call; replay it.
+        return [
+            max(0.0, self.PV_W * (1.0 + 0.01 * float(rng.standard_normal())))
+            for _ in range(n)
+        ]
+
+    def test_feedback_is_mean_of_substep_meter_readings(self):
+        ctl, rng = self.make_controller()
+        fed = []
+        original = ctl.scheduler.observe
+
+        def spy(renewable_w, demand_w):
+            fed.append(renewable_w)
+            original(renewable_w, demand_w)
+
+        ctl.scheduler.observe = spy
+        record = ctl.run_epoch(NOON)
+
+        # Draw 1 is the epoch-start reading; draws 2..7 are the six
+        # substeps whose mean is the one-and-only predictor feedback.
+        readings = self.expected_readings(rng, 1 + N_SUBSTEPS)
+        expected = sum(readings[1:]) / N_SUBSTEPS
+        assert fed == [pytest.approx(expected, rel=1e-12)]
+        assert record.renewable_metered_w == pytest.approx(expected, rel=1e-12)
+        # The noise-free channel is untouched by the metering.
+        assert record.renewable_w == pytest.approx(self.PV_W)
+
+    def test_no_second_jitter_of_the_epoch_mean(self):
+        ctl, rng = self.make_controller()
+        record = ctl.run_epoch(NOON)
+        readings = self.expected_readings(rng, 1 + N_SUBSTEPS)
+        # The buggy path would consume an 8th draw to re-jitter the mean;
+        # the RNG must sit exactly at draw 7 afterwards.
+        next_value = float(rng.standard_normal())
+        actual_next = float(ctl.monitor._rng.standard_normal())
+        assert actual_next == next_value
+        assert record.renewable_metered_w == pytest.approx(
+            sum(readings[1:]) / N_SUBSTEPS, rel=1e-12
+        )

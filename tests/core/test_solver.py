@@ -207,3 +207,95 @@ class TestCompositions:
         best, value = PARSolver.exhaustive(2, objective, 0.1)
         assert best == pytest.approx((0.6, 0.4))
         assert value == pytest.approx(0.0)
+
+
+class TestMemoization:
+    def groups(self):
+        return [
+            concave_group("A", 5),
+            concave_group("B", 5, t_max=50.0, lo=50.0, hi=80.0),
+        ]
+
+    def test_cached_solutions_match_cold_solves_over_budget_cycle(self):
+        # The constrained-supply sweep re-poses the same programs every
+        # time the budget cycle wraps; a warm solver must answer exactly
+        # as a cache-disabled one.
+        from repro.sim.experiment import ExperimentConfig
+
+        warm = PARSolver(safety_margin=0.0)
+        cold = PARSolver(safety_margin=0.0, cache_size=0)
+        budgets = [f * 1370.0 for f in ExperimentConfig.INSUFFICIENT_SWEEP] * 3
+        for budget in budgets:
+            assert warm.solve(self.groups(), budget) == cold.solve(self.groups(), budget)
+        sweep = len(ExperimentConfig.INSUFFICIENT_SWEEP)
+        assert warm.cache_misses == sweep
+        assert warm.cache_hits == len(budgets) - sweep
+        assert cold.cache_hits == cold.cache_misses == 0
+
+    def test_hit_returns_the_memoized_object(self):
+        solver = PARSolver(safety_margin=0.0)
+        first = solver.solve(self.groups(), 900.0)
+        second = solver.solve(self.groups(), 900.0)
+        assert second is first  # frozen, so sharing is safe
+
+    def test_budget_change_misses(self):
+        solver = PARSolver(safety_margin=0.0)
+        solver.solve(self.groups(), 900.0)
+        solver.solve(self.groups(), 901.0)
+        assert solver.cache_misses == 2
+        assert solver.cache_hits == 0
+
+    def test_fit_change_misses(self):
+        solver = PARSolver(safety_margin=0.0)
+        solver.solve([concave_group("A", 5, t_max=100.0)], 900.0)
+        solver.solve([concave_group("A", 5, t_max=101.0)], 900.0)
+        assert solver.cache_misses == 2
+
+    def test_cache_info_and_clear(self):
+        solver = PARSolver(safety_margin=0.0)
+        solver.solve(self.groups(), 900.0)
+        solver.solve(self.groups(), 900.0)
+        info = solver.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["hit_rate"] == pytest.approx(0.5)
+        assert info["size"] == 1
+        solver.clear_cache()
+        assert solver.cache_info() == {
+            "hits": 0, "misses": 0, "size": 0, "hit_rate": 0.0,
+        }
+
+    def test_fifo_eviction_bounds_the_cache(self):
+        solver = PARSolver(safety_margin=0.0, cache_size=4)
+        for budget in (600.0, 700.0, 800.0, 900.0, 1000.0):
+            solver.solve(self.groups(), budget)
+        assert solver.cache_info()["size"] == 4
+        # The oldest entry (600 W) was evicted: solving it again misses.
+        solver.solve(self.groups(), 600.0)
+        assert solver.cache_misses == 6
+
+    def test_disabled_cache_stores_nothing(self):
+        solver = PARSolver(safety_margin=0.0, cache_size=0)
+        a = solver.solve(self.groups(), 900.0)
+        b = solver.solve(self.groups(), 900.0)
+        assert a == b and a is not b
+        assert solver.cache_info()["size"] == 0
+
+    def test_negative_cache_size_rejected(self):
+        with pytest.raises(SolverError):
+            PARSolver(cache_size=-1)
+
+    def test_validation_still_runs_on_would_be_hits(self):
+        solver = PARSolver(safety_margin=0.0, max_groups=2)
+        solver.solve(self.groups(), 900.0)
+        with pytest.raises(SolverError):
+            solver.solve(self.groups(), -1.0)
+
+    def test_partial_group_solver_shares_the_cache_machinery(self):
+        from repro.core.solver import PartialGroupSolver
+
+        solver = PartialGroupSolver(safety_margin=0.0)
+        first = solver.solve(self.groups(), 700.0)
+        second = solver.solve(self.groups(), 700.0)
+        assert second is first
+        assert solver.cache_hits == 1
+        assert first.powered_counts is not None

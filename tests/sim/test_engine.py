@@ -108,3 +108,73 @@ class TestExecution:
         sim = assemble(hours=2.0, workload="Streamcluster")
         log = sim.run()
         assert np.allclose(log.series("load_fraction"), 1.0)
+
+
+class TestSupplyFractionConflicts:
+    def test_caller_battery_rejected(self):
+        from repro.power.battery import BatteryBank
+
+        with pytest.raises(ConfigurationError):
+            assemble(supply_fractions=(0.6, 0.8), battery=BatteryBank())
+
+    def test_caller_grid_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            assemble(supply_fractions=(0.6, 0.8), grid_budget_w=500.0)
+
+    def test_battery_and_grid_still_accepted_alone(self):
+        from repro.power.battery import BatteryBank
+
+        sim = assemble(battery=BatteryBank(count=3), grid_budget_w=500.0)
+        assert sim.controller.pdu.grid.budget_w == 500.0
+
+
+class TestStepReturnValue:
+    def test_step_returns_the_epoch_record(self):
+        from repro.core.controller import EpochRecord
+
+        sim = assemble(hours=0.5)
+        record = sim.step()
+        assert isinstance(record, EpochRecord)
+        assert record is sim.log[0]
+        assert record.time_s == sim.clock.start_s
+
+    def test_run_completes_a_partially_stepped_simulation(self):
+        stepped = assemble()
+        first = stepped.step()
+        log = stepped.run()
+        assert len(log) == stepped.clock.n_epochs
+        # One shared per-epoch code path: step-then-run equals run.
+        reference = assemble().run()
+        assert log[0] == first
+        assert list(log) == list(reference)
+
+    def test_run_on_finished_simulation_is_a_no_op(self):
+        sim = assemble(hours=0.5)
+        log = sim.run()
+        assert list(sim.run()) == list(log)
+
+
+class TestMixedRackLeadWorkload:
+    def test_interactive_group_drives_the_offered_load(self):
+        # Batch group first: the generator must still follow the
+        # interactive group's diurnal request stream, not group 0's
+        # saturating batch load.
+        rack = Rack(
+            [("E5-2620", 5), ("i5-4460", 5)], ["Streamcluster", "Memcached"]
+        )
+        clock = SimClock(start_s=SECONDS_PER_DAY, duration_s=8 * 3600.0)
+        sim = Simulation.assemble(
+            policy=make_policy("GreenHetero"), rack=rack, clock=clock, seed=11
+        )
+        assert sim.load_generator.workload.name == "Memcached"
+        log = sim.run()
+        assert log.series("load_fraction").std() > 0.0
+
+    def test_all_batch_rack_falls_back_to_group_zero(self):
+        rack = Rack([("E5-2620", 5), ("i5-4460", 5)], "Streamcluster")
+        clock = SimClock(start_s=SECONDS_PER_DAY, duration_s=2 * 3600.0)
+        sim = Simulation.assemble(
+            policy=make_policy("GreenHetero"), rack=rack, clock=clock, seed=11
+        )
+        assert sim.load_generator.workload.name == "Streamcluster"
+        assert np.allclose(sim.run().series("load_fraction"), 1.0)

@@ -36,6 +36,22 @@ class TestConfig:
         with pytest.raises(ConfigurationError):
             ExperimentConfig(policies=())
 
+    def test_supply_fractions_with_grid_budget_rejected(self):
+        # The default grid_budget_w counts too: the sweep disables the
+        # grid, so a silently-ignored budget must be an error.
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(supply_fractions=(0.5, 0.8))
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(supply_fractions=(0.5,), grid_budget_w=800.0)
+
+    def test_supply_fractions_without_grid_budget_accepted(self):
+        cfg = ExperimentConfig(supply_fractions=(0.5, 0.8), grid_budget_w=None)
+        assert cfg.supply_fractions == (0.5, 0.8)
+
+    def test_named_sweeps_disable_the_grid(self):
+        assert ExperimentConfig.insufficient_supply("SPECjbb").grid_budget_w is None
+        assert ExperimentConfig.combination_sweep("Comb1").grid_budget_w is None
+
     def test_build_rack(self):
         rack = ExperimentConfig().build_rack()
         assert rack.n_servers == 10

@@ -23,6 +23,7 @@ TOP_LEVEL = [
     "effective_power_utilization",
     "make_policy",
     "run_experiment",
+    "run_experiments",
 ]
 
 SUBPACKAGE_SURFACE = {
@@ -47,6 +48,7 @@ SUBPACKAGE_SURFACE = {
     "repro.sim": [
         "ExperimentConfig", "FaultInjector", "SimClock", "Simulation",
         "TelemetryLog", "WorkloadSchedule", "run_experiment",
+        "run_experiments",
     ],
     "repro.analysis": [
         "GainStatistics", "SustainabilityReport", "bar_chart",
