@@ -1,0 +1,68 @@
+"""Microbench — the serving daemon under a loadgen burst.
+
+Boots the control-plane daemon in-process (one standard rack), fires the
+bundled load generator at it, and measures what a deployment would ask
+of the serving path: query throughput (qps), tail latency (p50/p99),
+and whether the duplicate-heavy query mix actually lands in the PAR
+solver's memo cache.
+
+Results land in ``BENCH_serve.json`` at the repo root — the same record
+``tools/serve_smoke.py`` produces in the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from benchmarks.conftest import once
+from repro.serve.daemon import AllocationDaemon
+from repro.serve.loadgen import run_loadgen
+from repro.serve.state import ServeConfig, ServeState
+
+RESULT_PATH = Path(__file__).resolve().parents[1] / "BENCH_serve.json"
+
+CONNECTIONS = 4
+REQUESTS = 200
+
+
+def run_burst(port: int):
+    return run_loadgen(
+        port=port, connections=CONNECTIONS, requests=REQUESTS, out=RESULT_PATH
+    )
+
+
+def test_serving_throughput_and_cache(benchmark, reporter):
+    state = ServeState.build(ServeConfig())
+    daemon = AllocationDaemon(state, port=0)
+    thread = daemon.run_in_thread()
+    try:
+        result = once(benchmark, lambda: run_burst(daemon.port))
+    finally:
+        daemon.stop_from_thread()
+        thread.join(timeout=30)
+
+    latency = result["latency_ms"]
+    cache = result["cache_after"]["racks"]["rack0"]["solver_cache"]
+    reporter.table(
+        ["metric", "value"],
+        [
+            ["connections", result["connections"]],
+            ["requests", result["requests"]],
+            ["qps", f"{result['qps']:.0f}"],
+            ["p50", f"{latency['p50']:.2f} ms"],
+            ["p99", f"{latency['p99']:.2f} ms"],
+            ["errors", result["errors"]],
+            ["solve cache", f"{cache['hits']} hits / {cache['misses']} misses"],
+        ],
+        title="serving daemon, loadgen burst",
+    )
+    reporter.line(f"wrote {RESULT_PATH.name}")
+
+    assert result["errors"] == 0
+    # The benchmark record CI archives must hold the headline numbers.
+    saved = json.loads(RESULT_PATH.read_text())
+    assert saved["qps"] > 0
+    assert saved["latency_ms"]["p99"] >= saved["latency_ms"]["p50"]
+    # Duplicate-budget queries are the serving hot path; they must memoise.
+    assert cache["hit_rate"] > 0.5

@@ -20,6 +20,14 @@ Five subcommands cover the workflows a user of the paper's system needs:
 ``repro trace``
     Synthesize a High/Low NREL-style irradiance trace to CSV.
 
+``repro serve``
+    Run the control-plane daemon: rack controllers behind a streaming
+    NDJSON-over-TCP allocation API, with checkpoint/restore.
+
+``repro loadgen``
+    Benchmark a running daemon (qps, p50/p99 latency) and write
+    ``BENCH_serve.json``.
+
 Every command is deterministic for a given ``--seed``.
 """
 
@@ -298,6 +306,60 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0 if failed == 0 else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import AllocationDaemon, ServeConfig, ServeState
+
+    config = ServeConfig(
+        platforms=_parse_platforms(args.platforms),
+        workload=args.workload,
+        policy=args.policy,
+        n_racks=args.racks,
+        weather=_weather(args.weather),
+        seed=args.seed,
+        shared_grid_w=args.shared_grid,
+    )
+    state = ServeState.build(config, checkpoint_dir=args.checkpoint)
+    daemon = AllocationDaemon(
+        state, host=args.host, port=args.port, audit_log=args.audit_log
+    )
+
+    async def serve() -> None:
+        await daemon.start()
+        restored = " (restored from checkpoint)" if state.restored else ""
+        # Flushed readiness line: supervisors (and the CI smoke test)
+        # wait for it before pointing the load generator here.
+        print(
+            f"serving {len(state.racks)} rack(s) on "
+            f"{daemon.host}:{daemon.port}{restored}",
+            flush=True,
+        )
+        await daemon.run_until_stopped()
+
+    asyncio.run(serve())
+    print("daemon stopped", flush=True)
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve.loadgen import format_summary, run_loadgen
+
+    result = run_loadgen(
+        host=args.host,
+        port=args.port,
+        connections=args.connections,
+        requests=args.requests,
+        rack=args.rack,
+        seed=args.seed,
+        out=args.out,
+    )
+    print(format_summary(result))
+    if args.out:
+        print(f"\nwrote benchmark record to {args.out}")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     trace = synthesize_irradiance(
         days=args.days, weather=_weather(args.weather), seed=args.seed
@@ -399,6 +461,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate_p.add_argument("--seed", type=int, default=2021)
     validate_p.set_defaults(func=cmd_validate)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the control-plane allocation daemon"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=7313,
+                         help="listening port (0 lets the OS pick)")
+    serve_p.add_argument(
+        "--platforms",
+        default="E5-2620:5,i5-4460:5",
+        help="rack groups, e.g. 'E5-2620:5,i5-4460:5'",
+    )
+    serve_p.add_argument("--workload", default="SPECjbb")
+    serve_p.add_argument(
+        "--policy", default="GreenHetero", choices=all_policies,
+    )
+    serve_p.add_argument("--racks", type=int, default=1,
+                         help="identical racks to host (seeded seed+i)")
+    serve_p.add_argument("--weather", choices=("high", "low"), default="high")
+    serve_p.add_argument("--seed", type=int, default=2021)
+    serve_p.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="checkpoint directory; restored on boot when it holds a "
+        "manifest, written on SIGTERM/shutdown",
+    )
+    serve_p.add_argument(
+        "--audit-log", metavar="FILE",
+        help="append a JSONL event stream (epochs, checkpoints) here",
+    )
+    serve_p.add_argument(
+        "--shared-grid-w", dest="shared_grid", type=float, default=None,
+        help="coordinate racks against this shared grid budget",
+    )
+    serve_p.set_defaults(func=cmd_serve)
+
+    loadgen_p = sub.add_parser(
+        "loadgen", help="benchmark a running daemon (writes BENCH_serve.json)"
+    )
+    loadgen_p.add_argument("--host", default="127.0.0.1")
+    loadgen_p.add_argument("--port", type=int, default=7313)
+    loadgen_p.add_argument("--connections", type=int, default=4)
+    loadgen_p.add_argument("--requests", type=int, default=200)
+    loadgen_p.add_argument("--rack", default=None,
+                           help="target rack (default: the daemon's first)")
+    loadgen_p.add_argument("--seed", type=int, default=0)
+    loadgen_p.add_argument("--out", metavar="FILE",
+                           help="write the benchmark record as JSON")
+    loadgen_p.set_defaults(func=cmd_loadgen)
 
     trace_p = sub.add_parser("trace", help="synthesize an irradiance trace to CSV")
     trace_p.add_argument("--weather", choices=("high", "low"), default="high")

@@ -117,9 +117,21 @@ class ClusterCoordinator:
             )
         shares = self.grid_shares_w(time_s)
         records: list[EpochRecord] = []
-        for controller, share, load in zip(self.controllers, shares, load_fractions):
-            controller.pdu.grid.budget_w = share
-            records.append(controller.run_epoch(time_s, load_fraction=load))
+        # The per-epoch share is a temporary overlay on each rack's
+        # provisioned grid budget; restore the provisioned value after
+        # the epoch so the racks are unchanged outside coordination.
+        provisioned = [c.pdu.grid.budget_w for c in self.controllers]
+        try:
+            for controller, share, load in zip(
+                self.controllers, shares, load_fractions, strict=True
+            ):
+                controller.pdu.grid.budget_w = share
+                records.append(controller.run_epoch(time_s, load_fraction=load))
+        finally:
+            for controller, budget in zip(
+                self.controllers, provisioned, strict=True
+            ):
+                controller.pdu.grid.budget_w = budget
         return records
 
     # ------------------------------------------------------------------

@@ -212,6 +212,24 @@ class GreenHeteroController:
             self.groups[group_index].key, curve.idle_power_w, samples
         )
 
+    def ensure_profiled(self, time_s: float = 0.0) -> tuple[tuple[str, str], ...]:
+        """Run training runs for every pair the database has never seen.
+
+        Algorithm 1, line 3, factored out of the epoch loop so a serving
+        deployment (:mod:`repro.serve`) can answer allocation queries
+        before its first epoch executes.  No-op for policies that do not
+        consult the database.  Returns the pairs that were trained.
+        """
+        if not self.policy.uses_database:
+            return ()
+        missing = self.scheduler.missing_pairs(self.groups)
+        for key in missing:
+            group_index = next(
+                i for i, g in enumerate(self.groups) if g.key == key
+            )
+            self._training_run(group_index, time_s)
+        return tuple(missing)
+
     # ------------------------------------------------------------------
     # Epoch execution
     # ------------------------------------------------------------------
@@ -228,15 +246,7 @@ class GreenHeteroController:
             self.scheduler.observe(renewable_now, demand_now)
 
         # Algorithm 1, line 3: unseen pairs trigger a training run.
-        trained: tuple[tuple[str, str], ...] = ()
-        if self.policy.uses_database:
-            missing = self.scheduler.missing_pairs(self.groups)
-            for key in missing:
-                group_index = next(
-                    i for i, g in enumerate(self.groups) if g.key == key
-                )
-                self._training_run(group_index, time_s)
-            trained = tuple(missing)
+        trained = self.ensure_profiled(time_s)
 
         decision = self.scheduler.plan_sources(
             self.pdu.battery, self.pdu.grid, self.epoch_s

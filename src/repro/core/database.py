@@ -132,6 +132,40 @@ class _Entry:
     fit: PerfPowerFit | None = None
 
 
+@dataclass(frozen=True)
+class DatabaseEntry:
+    """Immutable public view of one (platform, workload) record.
+
+    The snapshot carries everything a serialiser or checkpointer needs —
+    envelope, retained samples, and the current fit — without exposing
+    the database's mutable internals.  :meth:`ProfilingDatabase.entry`
+    produces these and :meth:`ProfilingDatabase.restore_entry` rebuilds a
+    record from one bit-for-bit.
+
+    Attributes
+    ----------
+    key:
+        (platform, workload).
+    idle_power_w / max_power_w:
+        The pair's power envelope.
+    min_active_power_w:
+        Empirical power-on boundary; ``inf`` when no active sample has
+        ever been observed.
+    powers / perfs:
+        The retained profiling samples, oldest first.
+    fit:
+        The current relational equation, or ``None`` before any refit.
+    """
+
+    key: PairKey
+    idle_power_w: float
+    max_power_w: float
+    min_active_power_w: float
+    powers: tuple[float, ...]
+    perfs: tuple[float, ...]
+    fit: PerfPowerFit | None
+
+
 class ProfilingDatabase:
     """Performance-power projections for every pair ever executed.
 
@@ -172,6 +206,59 @@ class ProfilingDatabase:
     def sample_count(self, key: PairKey) -> int:
         entry = self._entries.get(key)
         return 0 if entry is None else len(entry.powers)
+
+    # ------------------------------------------------------------------
+    # Snapshots (the public serialisation surface)
+    # ------------------------------------------------------------------
+    def entry(self, key: PairKey) -> DatabaseEntry:
+        """Immutable snapshot of one pair's record.
+
+        Raises
+        ------
+        DatabaseMissError
+            When the pair has never been seen (no :meth:`ensure_entry`).
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            raise DatabaseMissError(*key)
+        return DatabaseEntry(
+            key=key,
+            idle_power_w=entry.idle_power_w,
+            max_power_w=entry.max_power_w,
+            min_active_power_w=entry.min_active_power_w,
+            powers=tuple(entry.powers),
+            perfs=tuple(entry.perfs),
+            fit=entry.fit,
+        )
+
+    def snapshot(self) -> tuple[DatabaseEntry, ...]:
+        """Snapshots of every record, in insertion order."""
+        return tuple(self.entry(key) for key in self._entries)
+
+    def restore_entry(self, snapshot: DatabaseEntry) -> None:
+        """Rebuild one record exactly as captured by :meth:`entry`.
+
+        The snapshot's samples, envelope, and fit are installed verbatim
+        (no refit), so a save → restore round trip is bit-identical.  An
+        existing record under the same key is replaced.
+        """
+        if snapshot.max_power_w <= snapshot.idle_power_w:
+            raise ConfigurationError(
+                f"{snapshot.key}: max power ({snapshot.max_power_w}) must "
+                f"exceed idle ({snapshot.idle_power_w})"
+            )
+        if len(snapshot.powers) != len(snapshot.perfs):
+            raise ConfigurationError(
+                f"{snapshot.key}: powers and perfs must have equal length"
+            )
+        self._entries[snapshot.key] = _Entry(
+            idle_power_w=float(snapshot.idle_power_w),
+            max_power_w=float(snapshot.max_power_w),
+            min_active_power_w=float(snapshot.min_active_power_w),
+            powers=deque(float(p) for p in snapshot.powers),
+            perfs=deque(float(p) for p in snapshot.perfs),
+            fit=snapshot.fit,
+        )
 
     # ------------------------------------------------------------------
     # Population and updating

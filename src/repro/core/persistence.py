@@ -1,4 +1,4 @@
-"""Profiling-database persistence.
+"""Profiling-database and predictor persistence.
 
 The paper's database "provides the power consumption and throughput
 projection for all workloads and server configurations *it has ever
@@ -6,10 +6,16 @@ executed*" — knowledge that must survive controller restarts, or every
 reboot pays the training-run cost again for every pair.  This module
 serialises a :class:`~repro.core.database.ProfilingDatabase` to a
 versioned JSON document and restores it bit-for-bit (samples, envelopes,
-and the current fits).
+and the current fits), and does the same for the Holt predictors so a
+long-lived deployment (the :mod:`repro.serve` daemon) can checkpoint its
+entire learned state.
 
 The format is deliberately plain JSON: operators can inspect and diff
-the learned projections, and foreign tools can consume them.
+the learned projections, and foreign tools can consume them.  All
+serialisation goes through the database's public snapshot API
+(:meth:`~repro.core.database.ProfilingDatabase.snapshot` /
+:meth:`~repro.core.database.ProfilingDatabase.restore_entry`); nothing
+here touches private state.
 """
 
 from __future__ import annotations
@@ -18,7 +24,13 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.core.database import FitKind, PerfPowerFit, ProfilingDatabase
+from repro.core.database import (
+    DatabaseEntry,
+    FitKind,
+    PerfPowerFit,
+    ProfilingDatabase,
+)
+from repro.core.predictor import HoltPredictor
 from repro.errors import ConfigurationError
 
 #: Format version written into every document; bump on breaking changes.
@@ -28,11 +40,10 @@ FORMAT_VERSION = 1
 def database_to_dict(db: ProfilingDatabase) -> dict[str, Any]:
     """Serialise ``db`` into a JSON-ready dictionary."""
     entries = []
-    for key in db.keys():
-        entry = db._entries[key]  # noqa: SLF001 - serialiser is a friend module
+    for entry in db.snapshot():
         record: dict[str, Any] = {
-            "platform": key[0],
-            "workload": key[1],
+            "platform": entry.key[0],
+            "workload": entry.key[1],
             "idle_power_w": entry.idle_power_w,
             "max_power_w": entry.max_power_w,
             "min_active_power_w": (
@@ -80,23 +91,30 @@ def database_from_dict(data: dict[str, Any]) -> ProfilingDatabase:
             max_samples=int(data["max_samples"]),
         )
         for record in data["entries"]:
-            key = (record["platform"], record["workload"])
-            db.ensure_entry(key, record["idle_power_w"], record["max_power_w"])
-            entry = db._entries[key]  # noqa: SLF001
-            if record["min_active_power_w"] is not None:
-                entry.min_active_power_w = record["min_active_power_w"]
-            entry.powers.extend(float(p) for p in record["powers"])
-            entry.perfs.extend(float(p) for p in record["perfs"])
-            entry.max_power_w = record["max_power_w"]
-            fit = record.get("fit")
-            if fit is not None:
-                entry.fit = PerfPowerFit(
-                    coefficients=tuple(fit["coefficients"]),
-                    min_power_w=fit["min_power_w"],
-                    max_power_w=fit["max_power_w"],
-                    kind=FitKind[fit["kind"]],
-                    n_samples=int(fit["n_samples"]),
+            fit_doc = record.get("fit")
+            fit = None
+            if fit_doc is not None:
+                fit = PerfPowerFit(
+                    coefficients=tuple(fit_doc["coefficients"]),
+                    min_power_w=fit_doc["min_power_w"],
+                    max_power_w=fit_doc["max_power_w"],
+                    kind=FitKind[fit_doc["kind"]],
+                    n_samples=int(fit_doc["n_samples"]),
                 )
+            min_active = record["min_active_power_w"]
+            db.restore_entry(
+                DatabaseEntry(
+                    key=(record["platform"], record["workload"]),
+                    idle_power_w=record["idle_power_w"],
+                    max_power_w=record["max_power_w"],
+                    min_active_power_w=(
+                        float("inf") if min_active is None else float(min_active)
+                    ),
+                    powers=tuple(float(p) for p in record["powers"]),
+                    perfs=tuple(float(p) for p in record["perfs"]),
+                    fit=fit,
+                )
+            )
         return db
     except ConfigurationError:
         raise
@@ -125,3 +143,32 @@ def load_database(path: str | Path) -> ProfilingDatabase:
     if not isinstance(data, dict):
         raise ConfigurationError(f"{path} does not contain a database document")
     return database_from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Predictor state
+# ----------------------------------------------------------------------
+
+
+def predictor_to_dict(predictor: HoltPredictor) -> dict[str, Any]:
+    """Serialise a Holt predictor (constants + streaming state)."""
+    return {"format_version": FORMAT_VERSION, **predictor.state_dict()}
+
+
+def predictor_from_dict(data: dict[str, Any]) -> HoltPredictor:
+    """Rebuild a predictor from :func:`predictor_to_dict` output.
+
+    Raises
+    ------
+    ConfigurationError
+        On version mismatch or malformed documents.
+    """
+    if not isinstance(data, dict):
+        raise ConfigurationError("predictor document must be a JSON object")
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported predictor format version {version} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    return HoltPredictor.from_state_dict(data)

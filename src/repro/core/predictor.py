@@ -121,6 +121,47 @@ class HoltPredictor:
         self._n_observed = 0
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """The predictor's full state as plain JSON-ready values.
+
+        Captures the trained constants *and* the streaming state, so a
+        restored predictor forecasts bit-identically to the original.
+        """
+        return {
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "nonnegative": self.nonnegative,
+            "level": self._level,
+            "trend": self._trend,
+            "n_observed": self._n_observed,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "HoltPredictor":
+        """Rebuild a predictor captured by :meth:`state_dict`.
+
+        Raises
+        ------
+        ConfigurationError
+            On missing keys or out-of-range constants.
+        """
+        try:
+            predictor = cls(
+                alpha=float(state["alpha"]),
+                beta=float(state["beta"]),
+                nonnegative=bool(state["nonnegative"]),
+            )
+            level = state["level"]
+            predictor._level = None if level is None else float(level)
+            predictor._trend = float(state["trend"])
+            predictor._n_observed = int(state["n_observed"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed predictor state: {exc}") from exc
+        return predictor
+
+    # ------------------------------------------------------------------
     # Training (Eq. 5)
     # ------------------------------------------------------------------
     @staticmethod

@@ -1,0 +1,133 @@
+"""The serving daemon's wire format: newline-delimited JSON over TCP.
+
+One request or response per line, UTF-8, ``\\n``-terminated.  Requests
+carry an ``op`` (the query kind), an optional caller-chosen ``id``
+echoed back verbatim, an optional ``rack`` selector, and op-specific
+parameters.  Responses carry ``ok`` plus either ``result`` or
+``error``/``error_type``:
+
+    → {"id": 1, "op": "allocate", "rack": "rack0", "budget_w": 800}
+    ← {"id": 1, "ok": true, "result": {"ratios": [0.62, 0.38], ...}}
+
+The format is deliberately transport-trivial: ``nc`` and three lines of
+any language's socket code are a complete client.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+
+#: Hard cap on one message line; a line longer than this is a protocol
+#: violation, not a big request.
+MAX_LINE_BYTES = 1 << 20
+
+#: Every operation the daemon understands.
+OPS = frozenset(
+    {
+        "allocate",
+        "cache-stats",
+        "checkpoint",
+        "forecast",
+        "observe",
+        "ping",
+        "racks",
+        "shutdown",
+        "status",
+        "step",
+    }
+)
+
+#: Request keys that are framing, not op parameters.
+_ENVELOPE_KEYS = frozenset({"id", "op", "rack"})
+
+
+class ProtocolError(ReproError):
+    """A malformed or oversized protocol message."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """A parsed, validated request line.
+
+    Attributes
+    ----------
+    op:
+        One of :data:`OPS`.
+    id:
+        Caller-chosen correlation id, echoed back in the response
+        (``None`` when the caller sent none).
+    rack:
+        Target rack name; ``None`` addresses the daemon (or, for
+        ``step``, the whole cluster).
+    params:
+        Remaining op-specific keys.
+    """
+
+    op: str
+    id: Any = None
+    rack: str | None = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+
+def encode_message(message: Mapping[str, Any]) -> bytes:
+    """One message as a compact, newline-terminated JSON line."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_message(line: bytes | str) -> dict[str, Any]:
+    """Parse one line into a message dictionary.
+
+    Raises
+    ------
+    ProtocolError
+        On oversized lines, invalid JSON, or a non-object payload.
+    """
+    if isinstance(line, str):
+        line = line.encode()
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"message exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+def parse_request(message: Mapping[str, Any]) -> Request:
+    """Validate a decoded message as a request.
+
+    Raises
+    ------
+    ProtocolError
+        On a missing or unknown ``op`` or a non-string ``rack``.
+    """
+    op = message.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request needs a string 'op'")
+    if op not in OPS:
+        raise ProtocolError(
+            f"unknown op {op!r}; expected one of {sorted(OPS)}"
+        )
+    rack = message.get("rack")
+    if rack is not None and not isinstance(rack, str):
+        raise ProtocolError("'rack' must be a string when present")
+    params = {k: v for k, v in message.items() if k not in _ENVELOPE_KEYS}
+    return Request(op=op, id=message.get("id"), rack=rack, params=params)
+
+
+def ok_response(request_id: Any, result: Mapping[str, Any]) -> dict[str, Any]:
+    """A success envelope echoing the request id."""
+    return {"id": request_id, "ok": True, "result": dict(result)}
+
+
+def error_response(
+    request_id: Any, error: str, error_type: str = "error"
+) -> dict[str, Any]:
+    """A failure envelope; ``error_type`` names the exception class."""
+    return {"id": request_id, "ok": False, "error": error, "error_type": error_type}

@@ -1,0 +1,573 @@
+"""Serving state: hosted rack controllers and their checkpoints.
+
+A :class:`RackHost` wraps one :class:`GreenHeteroController` for
+long-lived operation: it owns the rack's epoch clock (unbounded — the
+irradiance trace wraps), its telemetry log, and its offered-load
+generator, and it answers the daemon's queries (allocate / forecast /
+status).  :class:`ServeState` assembles and owns a fleet of hosts —
+optionally coordinated through the existing
+:class:`~repro.core.cluster.ClusterCoordinator` when a shared grid
+budget is configured — and implements checkpoint/restore of every
+rack's learned state (profiling database, Holt predictors, battery
+charge, epoch counter) via :mod:`repro.core.persistence`.
+
+Checkpoints are a directory of plain JSON files written atomically
+(temp file + rename), one database and one state document per rack plus
+a manifest, so a ``kill -TERM`` mid-write can never corrupt a previous
+checkpoint.  Restore is bit-identical for the learned state: the fits a
+restored daemon serves are exactly the fits the old daemon saved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.core.cluster import ClusterCoordinator, GridSplit
+from repro.core.controller import EpochRecord, GreenHeteroController
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    database_from_dict,
+    database_to_dict,
+    predictor_from_dict,
+    predictor_to_dict,
+)
+from repro.core.policies import make_policy
+from repro.errors import ConfigurationError
+from repro.servers.rack import Rack
+from repro.sim.clock import SimClock
+from repro.sim.engine import Simulation
+from repro.sim.telemetry import TelemetryLog, record_to_dict
+from repro.traces.nrel import Weather
+from repro.units import EPOCH_SECONDS
+from repro.workloads.generator import LoadGenerator
+
+#: Checkpoint manifest file name inside the checkpoint directory.
+MANIFEST_NAME = "manifest.json"
+
+
+def _atomic_write_json(path: Path, document: dict[str, Any]) -> None:
+    """Write ``document`` as JSON at ``path`` via temp-file + rename."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(document, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything needed to (re)assemble the served fleet.
+
+    The config is persisted into the checkpoint manifest so a restart
+    can rebuild identical stacks before restoring learned state.
+
+    Attributes
+    ----------
+    platforms:
+        ``(platform, count)`` rack groups, shared by every rack.
+    workload:
+        Workload name run by every group.
+    policy:
+        Allocation policy name (any Table III entry or extension).
+    n_racks:
+        How many identical racks to host (seeded ``seed + i``).
+    weather:
+        Solar regime for the replayed irradiance traces.
+    seed:
+        Master seed; rack ``i`` uses ``seed + i``.
+    shared_grid_w:
+        When set, a :class:`ClusterCoordinator` re-divides this shared
+        grid budget across the racks every cluster epoch.
+    epoch_s:
+        Scheduling epoch length (paper: 15 minutes).
+    """
+
+    platforms: tuple[tuple[str, int], ...] = (("E5-2620", 5), ("i5-4460", 5))
+    workload: str = "SPECjbb"
+    policy: str = "GreenHetero"
+    n_racks: int = 1
+    weather: Weather = Weather.HIGH
+    seed: int = 2021
+    shared_grid_w: float | None = None
+    epoch_s: float = EPOCH_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.n_racks < 1:
+            raise ConfigurationError("need at least one rack")
+        if self.epoch_s <= 0:
+            raise ConfigurationError("epoch length must be positive")
+        # Normalized to float so a persisted-and-reloaded config
+        # serializes byte-identically to the original.
+        object.__setattr__(self, "epoch_s", float(self.epoch_s))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "platforms": [list(group) for group in self.platforms],
+            "workload": self.workload,
+            "policy": self.policy,
+            "n_racks": self.n_racks,
+            "weather": self.weather.name,
+            "seed": self.seed,
+            "shared_grid_w": self.shared_grid_w,
+            "epoch_s": self.epoch_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ServeConfig":
+        try:
+            return cls(
+                platforms=tuple(
+                    (str(name), int(count)) for name, count in data["platforms"]
+                ),
+                workload=str(data["workload"]),
+                policy=str(data["policy"]),
+                n_racks=int(data["n_racks"]),
+                weather=Weather[data["weather"]],
+                seed=int(data["seed"]),
+                shared_grid_w=data["shared_grid_w"],
+                epoch_s=float(data["epoch_s"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed serve config: {exc}") from exc
+
+
+class RackHost:
+    """One long-lived rack controller behind the serving API.
+
+    Parameters
+    ----------
+    name:
+        Rack identifier used in requests and checkpoints.
+    controller:
+        The hosted controller (predictors already primed).
+    load_generator:
+        Offered-load source used when a ``step`` gives no explicit
+        load fraction.
+    start_s:
+        Timestamp of the rack's first epoch.
+    epoch_s:
+        Epoch length; the host's clock is ``start_s + n_epochs * epoch_s``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        controller: GreenHeteroController,
+        load_generator: LoadGenerator,
+        start_s: float,
+        epoch_s: float,
+    ) -> None:
+        self.name = name
+        self.controller = controller
+        self.load_generator = load_generator
+        self.start_s = float(start_s)
+        self.epoch_s = float(epoch_s)
+        self.n_epochs = 0
+        self.log = TelemetryLog()
+
+    # ------------------------------------------------------------------
+    @property
+    def clock_s(self) -> float:
+        """Timestamp of the rack's next epoch."""
+        return self.start_s + self.n_epochs * self.epoch_s
+
+    @property
+    def solver(self):
+        """The policy's PAR solver, or ``None`` for non-solver policies."""
+        return getattr(self.controller.policy, "solver", None)
+
+    # ------------------------------------------------------------------
+    # Queries (called from the daemon's executor, one at a time per rack)
+    # ------------------------------------------------------------------
+    def allocate(self, budget_w: float | None = None) -> dict[str, Any]:
+        """Solve the PAR program for ``budget_w`` (or the planned budget).
+
+        Runs any pending training runs first, so the very first query
+        against a cold database succeeds the way Algorithm 1 specifies.
+        """
+        self.controller.ensure_profiled(self.clock_s)
+        if budget_w is None:
+            budget_w = self.plan_budget_w()
+        if budget_w < 0:
+            raise ConfigurationError("budget_w must be non-negative")
+        plan = self.controller.scheduler.allocate_plan(
+            budget_w, self.controller.groups
+        )
+        return {
+            "rack": self.name,
+            "budget_w": budget_w,
+            "groups": [g.name for g in self.controller.groups],
+            "ratios": list(plan.ratios),
+            "group_budgets_w": [r * budget_w for r in plan.ratios],
+            "powered_counts": (
+                None if plan.powered_counts is None else list(plan.powered_counts)
+            ),
+            "projected_perf": plan.projected_perf,
+        }
+
+    def plan_budget_w(self) -> float:
+        """The budget the source selector would grant right now."""
+        decision = self.controller.scheduler.plan_sources(
+            self.controller.pdu.battery, self.controller.pdu.grid, self.epoch_s
+        )
+        return decision.rack_budget_w
+
+    def forecast(self) -> dict[str, Any]:
+        """Next-epoch supply/demand forecast and the source decision."""
+        renewable_w, demand_w = self.controller.scheduler.forecast()
+        decision = self.controller.scheduler.plan_sources(
+            self.controller.pdu.battery, self.controller.pdu.grid, self.epoch_s
+        )
+        return {
+            "rack": self.name,
+            "renewable_w": renewable_w,
+            "demand_w": demand_w,
+            "case": decision.case.value,
+            "budget_w": decision.rack_budget_w,
+        }
+
+    def observe(self, renewable_w: float, demand_w: float) -> dict[str, Any]:
+        """Ingest one pushed telemetry observation; returns the new forecast."""
+        if renewable_w < 0 or demand_w < 0:
+            raise ConfigurationError("observations must be non-negative")
+        self.controller.scheduler.observe(renewable_w, demand_w)
+        return self.forecast()
+
+    def step(self, load_fraction: float | None = None) -> EpochRecord:
+        """Execute one full scheduling epoch and advance the clock."""
+        t = self.clock_s
+        if load_fraction is None:
+            load_fraction = self.load_generator.at(t).fraction
+        record = self.controller.run_epoch(t, load_fraction=load_fraction)
+        self.log.append(record)
+        self.n_epochs += 1
+        return record
+
+    def record_epoch(self, record: EpochRecord) -> None:
+        """Account an epoch executed externally (cluster coordination)."""
+        self.log.append(record)
+        self.n_epochs += 1
+
+    def cache_info(self) -> dict[str, Any]:
+        """Solver memoization health for serving dashboards."""
+        solver = self.solver
+        info: dict[str, Any] = {"rack": self.name}
+        if solver is None:
+            info["solver_cache"] = None
+        else:
+            info["solver_cache"] = solver.cache_info()
+        return info
+
+    def status(self) -> dict[str, Any]:
+        """Operational snapshot of this rack."""
+        controller = self.controller
+        database = controller.scheduler.database
+        return {
+            "rack": self.name,
+            "policy": controller.policy.name,
+            "groups": [
+                {"platform": g.name, "count": g.count}
+                for g in controller.groups
+            ],
+            "workload": controller.rack.groups[0].workload.name,
+            "epochs": self.n_epochs,
+            "clock_s": self.clock_s,
+            "battery_soc_wh": controller.pdu.battery.soc_wh,
+            "battery_soc_fraction": controller.pdu.battery.soc_fraction,
+            "grid_budget_w": controller.pdu.grid.budget_w,
+            "database_pairs": len(database),
+            "predictors_ready": controller.scheduler.renewable_predictor.ready,
+            **self.cache_info(),
+        }
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_document(self) -> dict[str, Any]:
+        """JSON-ready mutable state (everything but the database)."""
+        scheduler = self.controller.scheduler
+        return {
+            "format_version": FORMAT_VERSION,
+            "name": self.name,
+            "n_epochs": self.n_epochs,
+            "start_s": self.start_s,
+            "epoch_s": self.epoch_s,
+            "battery_soc_wh": self.controller.pdu.battery.soc_wh,
+            "renewable_predictor": predictor_to_dict(scheduler.renewable_predictor),
+            "demand_predictor": predictor_to_dict(scheduler.demand_predictor),
+        }
+
+    def restore_state_document(self, document: dict[str, Any]) -> None:
+        """Install a :meth:`state_document` snapshot into this host."""
+        try:
+            version = document["format_version"]
+            if version != FORMAT_VERSION:
+                raise ConfigurationError(
+                    f"unsupported rack state version {version} "
+                    f"(this build reads {FORMAT_VERSION})"
+                )
+            scheduler = self.controller.scheduler
+            scheduler.renewable_predictor = predictor_from_dict(
+                document["renewable_predictor"]
+            )
+            scheduler.demand_predictor = predictor_from_dict(
+                document["demand_predictor"]
+            )
+            self.controller.pdu.battery.soc_wh = float(document["battery_soc_wh"])
+            self.n_epochs = int(document["n_epochs"])
+            self.start_s = float(document["start_s"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed rack state document: {exc}") from exc
+
+
+class ServeState:
+    """The daemon's full fleet: named rack hosts plus optional coordination.
+
+    Build with :meth:`ServeState.build`, which assembles each rack with
+    the paper's standard methodology (:meth:`Simulation.assemble`) and —
+    when the checkpoint directory holds a manifest — restores the
+    previous deployment's learned state bit-for-bit.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        racks: dict[str, RackHost],
+        coordinator: ClusterCoordinator | None = None,
+        checkpoint_dir: str | Path | None = None,
+    ) -> None:
+        if not racks:
+            raise ConfigurationError("a serve state needs at least one rack")
+        self.config = config
+        self.racks = racks
+        self.coordinator = coordinator
+        self.checkpoint_dir = None if checkpoint_dir is None else Path(checkpoint_dir)
+        self.restored = False
+        self.cluster_epochs = 0
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        config: ServeConfig | None = None,
+        checkpoint_dir: str | Path | None = None,
+    ) -> "ServeState":
+        """Assemble the fleet; restore from ``checkpoint_dir`` if present.
+
+        When ``checkpoint_dir`` contains a manifest, its persisted
+        config *replaces* the given one (a checkpoint names the exact
+        deployment it belongs to) and every rack's database, predictors,
+        battery charge, and epoch counter are restored.
+        """
+        manifest: dict[str, Any] | None = None
+        if checkpoint_dir is not None:
+            manifest_path = Path(checkpoint_dir) / MANIFEST_NAME
+            if manifest_path.exists():
+                try:
+                    manifest = json.loads(manifest_path.read_text())
+                except (OSError, json.JSONDecodeError) as exc:
+                    raise ConfigurationError(
+                        f"cannot read checkpoint manifest {manifest_path}: {exc}"
+                    ) from exc
+                config = ServeConfig.from_dict(manifest["config"])
+        if config is None:
+            config = ServeConfig()
+
+        racks: dict[str, RackHost] = {}
+        for i in range(config.n_racks):
+            name = f"rack{i}"
+            clock = SimClock(epoch_s=config.epoch_s)
+            # One policy instance per rack: each rack owns its solver and
+            # its memoization cache (the daemon solves racks in parallel).
+            sim = Simulation.assemble(
+                policy=make_policy(config.policy),
+                rack=Rack(list(config.platforms), config.workload),
+                weather=config.weather,
+                clock=clock,
+                seed=config.seed + i,
+            )
+            host = RackHost(
+                name=name,
+                controller=sim.controller,
+                load_generator=sim.load_generator,
+                start_s=clock.start_s,
+                epoch_s=clock.epoch_s,
+            )
+            # Pay the training-run cost up front so the first allocation
+            # query is served from a warm database.
+            host.controller.ensure_profiled(host.clock_s)
+            racks[name] = host
+
+        coordinator = None
+        if config.shared_grid_w is not None:
+            coordinator = ClusterCoordinator(
+                [host.controller for host in racks.values()],
+                config.shared_grid_w,
+                split=GridSplit.SHORTFALL,
+            )
+
+        state = cls(
+            config=config,
+            racks=racks,
+            coordinator=coordinator,
+            checkpoint_dir=checkpoint_dir,
+        )
+        if manifest is not None:
+            state._restore(manifest)
+        return state
+
+    # ------------------------------------------------------------------
+    # Rack access
+    # ------------------------------------------------------------------
+    def rack(self, name: str) -> RackHost:
+        host = self.racks.get(name)
+        if host is None:
+            raise ConfigurationError(
+                f"unknown rack {name!r}; serving {sorted(self.racks)}"
+            )
+        return host
+
+    def rack_names(self) -> list[str]:
+        return list(self.racks)
+
+    # ------------------------------------------------------------------
+    # Cluster stepping
+    # ------------------------------------------------------------------
+    def step_cluster(
+        self, load_fractions: list[float] | None = None
+    ) -> list[EpochRecord]:
+        """One coordinated epoch across every rack.
+
+        Requires a shared grid budget (``config.shared_grid_w``); the
+        coordinator re-divides it, every rack executes, and each host's
+        log and epoch counter advance together.
+        """
+        if self.coordinator is None:
+            raise ConfigurationError(
+                "no shared grid budget configured; step racks individually"
+            )
+        hosts = list(self.racks.values())
+        time_s = hosts[0].clock_s
+        if load_fractions is None:
+            load_fractions = [
+                host.load_generator.at(time_s).fraction for host in hosts
+            ]
+        records = self.coordinator.run_epoch(time_s, load_fractions=load_fractions)
+        for host, record in zip(hosts, records, strict=True):
+            host.record_epoch(record)
+        self.cluster_epochs += 1
+        return records
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Path:
+        """Write the full fleet state; returns the checkpoint directory.
+
+        Raises
+        ------
+        ConfigurationError
+            When no checkpoint directory was configured.
+        """
+        if self.checkpoint_dir is None:
+            raise ConfigurationError("no checkpoint directory configured")
+        directory = self.checkpoint_dir
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, host in self.racks.items():
+            _atomic_write_json(
+                directory / f"{name}.database.json",
+                database_to_dict(host.controller.scheduler.database),
+            )
+            _atomic_write_json(
+                directory / f"{name}.state.json", host.state_document()
+            )
+        # The manifest is written last: a directory with a manifest is a
+        # complete checkpoint by construction.
+        _atomic_write_json(
+            directory / MANIFEST_NAME,
+            {
+                "format_version": FORMAT_VERSION,
+                "config": self.config.to_dict(),
+                "racks": sorted(self.racks),
+                "cluster_epochs": self.cluster_epochs,
+            },
+        )
+        return directory
+
+    def _restore(self, manifest: dict[str, Any]) -> None:
+        """Install a checkpoint's learned state into the assembled fleet."""
+        assert self.checkpoint_dir is not None
+        try:
+            version = manifest["format_version"]
+            if version != FORMAT_VERSION:
+                raise ConfigurationError(
+                    f"unsupported checkpoint version {version} "
+                    f"(this build reads {FORMAT_VERSION})"
+                )
+            names = list(manifest["racks"])
+            self.cluster_epochs = int(manifest.get("cluster_epochs", 0))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed checkpoint manifest: {exc}") from exc
+        if sorted(names) != sorted(self.racks):
+            raise ConfigurationError(
+                f"checkpoint racks {sorted(names)} do not match the "
+                f"assembled fleet {sorted(self.racks)}"
+            )
+        for name in names:
+            host = self.racks[name]
+            db_path = self.checkpoint_dir / f"{name}.database.json"
+            state_path = self.checkpoint_dir / f"{name}.state.json"
+            try:
+                database_doc = json.loads(db_path.read_text())
+                state_doc = json.loads(state_path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise ConfigurationError(
+                    f"cannot read checkpoint files for {name}: {exc}"
+                ) from exc
+            host.controller.scheduler.database = database_from_dict(database_doc)
+            host.restore_state_document(state_doc)
+        self.restored = True
+
+    # ------------------------------------------------------------------
+    # Aggregate views
+    # ------------------------------------------------------------------
+    def status(self) -> dict[str, Any]:
+        """Fleet-wide operational snapshot."""
+        return {
+            "racks": {name: host.status() for name, host in self.racks.items()},
+            "n_racks": len(self.racks),
+            "policy": self.config.policy,
+            "workload": self.config.workload,
+            "coordinated": self.coordinator is not None,
+            "shared_grid_w": self.config.shared_grid_w,
+            "cluster_epochs": self.cluster_epochs,
+            "restored": self.restored,
+            "checkpoint_dir": (
+                None if self.checkpoint_dir is None else str(self.checkpoint_dir)
+            ),
+        }
+
+    def cache_stats(self) -> dict[str, Any]:
+        """Solver memoization counters for every rack."""
+        return {
+            "racks": {name: host.cache_info() for name, host in self.racks.items()}
+        }
+
+    def epoch_event(self, host: RackHost, record: EpochRecord) -> dict[str, Any]:
+        """One JSONL audit-stream event for an executed epoch.
+
+        The epoch telemetry in :func:`record_to_dict` form plus the
+        rack's solver cache counters, so serving dashboards can watch
+        memoization health directly from the event stream.
+        """
+        return {
+            "event": "epoch",
+            "rack": host.name,
+            "epoch_index": host.n_epochs - 1,
+            **record_to_dict(record),
+            **host.cache_info(),
+        }

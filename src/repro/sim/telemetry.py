@@ -9,14 +9,35 @@ slices its analysis by, and a CSV export for external tooling.
 from __future__ import annotations
 
 import csv
+import dataclasses
+import json
 from pathlib import Path
-from typing import Iterator
+from typing import Any, Iterator, Mapping
 
 import numpy as np
 
 from repro.core.controller import EpochRecord
 from repro.core.sources import PowerCase
 from repro.errors import SimulationError
+
+
+def record_to_dict(record: EpochRecord) -> dict[str, Any]:
+    """One :class:`EpochRecord` as a JSON-ready dictionary.
+
+    Enums become their string values and tuples become lists; this is
+    the per-line schema of :meth:`TelemetryLog.to_jsonl` and the event
+    format of the :mod:`repro.serve` daemon's audit stream.
+    """
+    data = dataclasses.asdict(record)
+    data["case"] = record.case.value
+    data["charge_source"] = record.charge_source.value
+    data["ratios"] = list(record.ratios)
+    data["group_budgets_w"] = list(record.group_budgets_w)
+    data["state_indices"] = list(record.state_indices)
+    data["trained_pairs"] = [list(pair) for pair in record.trained_pairs]
+    if record.powered_counts is not None:
+        data["powered_counts"] = list(record.powered_counts)
+    return data
 
 
 class TelemetryLog:
@@ -175,6 +196,23 @@ class TelemetryLog:
                 row += [f"{ratio:.6g}" for ratio in r.ratios]
                 row += [r.charge_source.value, int(r.brownout)]
                 writer.writerow(row)
+
+    def to_jsonl(
+        self, path: str | Path, extra: Mapping[str, Any] | None = None
+    ) -> None:
+        """Write the epoch log as newline-delimited JSON.
+
+        One object per epoch in :func:`record_to_dict` form — the
+        daemon's event-stream/audit-log format, and friendlier than CSV
+        for log shippers and ``jq``.  ``extra`` keys (rack name, policy,
+        cache counters, ...) are merged into every line.
+        """
+        self._require_nonempty()
+        extras = dict(extra) if extra else {}
+        with open(path, "w") as f:
+            for record in self._records:
+                f.write(json.dumps({**record_to_dict(record), **extras}))
+                f.write("\n")
 
     @staticmethod
     def _masked_mean(values: np.ndarray, mask: np.ndarray | None) -> float:

@@ -80,12 +80,39 @@ class TestEpochExecution:
         assert len(records) == 2
         assert cluster.aggregate_throughput(records) > 0.0
 
-    def test_grid_budgets_applied(self):
+    def test_provisioned_grid_budget_restored_after_epoch(self):
+        # The per-epoch share must not clobber each rack's provisioned
+        # budget: after the epoch the racks read exactly as provisioned.
         a, b = make_controller(seed=1), make_controller(seed=2)
+        a.pdu.grid.budget_w = 120.0
+        b.pdu.grid.budget_w = 340.0
         cluster = ClusterCoordinator([a, b], 1500.0, split=GridSplit.EQUAL)
-        cluster.run_epoch(MIDNIGHT)
-        assert a.pdu.grid.budget_w == pytest.approx(750.0)
-        assert b.pdu.grid.budget_w == pytest.approx(750.0)
+        records = cluster.run_epoch(MIDNIGHT)
+        assert len(records) == 2
+        assert a.pdu.grid.budget_w == pytest.approx(120.0)
+        assert b.pdu.grid.budget_w == pytest.approx(340.0)
+
+    def test_epoch_share_drives_the_epoch(self):
+        # At midnight with drained batteries, a grid-only epoch's budget
+        # comes from the coordinator's share, not the provisioned cap.
+        a, b = make_controller(seed=1), make_controller(seed=2)
+        for c in (a, b):
+            c.pdu.battery.soc_wh = c.pdu.battery.floor_wh
+        cluster = ClusterCoordinator([a, b], 1500.0, split=GridSplit.EQUAL)
+        records = cluster.run_epoch(MIDNIGHT)
+        for record in records:
+            assert record.budget_w <= 750.0 + 1e-6
+            assert record.grid_to_load_w <= 750.0 + 1e-6
+
+    def test_shortfall_fallback_with_primed_predictors(self):
+        # Primed predictors forecasting abundant renewables: zero total
+        # predicted shortfall must fall back to the EQUAL division.
+        a = make_controller(seed=1, solar_peak=50000.0)
+        b = make_controller(seed=2, solar_peak=50000.0)
+        for c in (a, b):
+            c.prime_predictors([9000.0] * 8, [700.0] * 8)
+        cluster = ClusterCoordinator([a, b], 1000.0, split=GridSplit.SHORTFALL)
+        assert cluster.grid_shares_w(NOON) == [500.0, 500.0]
 
     def test_load_fraction_mismatch_rejected(self):
         cluster = ClusterCoordinator([make_controller()], 1000.0)

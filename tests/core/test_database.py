@@ -197,3 +197,67 @@ class TestQueries:
         db = ProfilingDatabase()
         with pytest.raises(ConfigurationError):
             db.ensure_entry(KEY, idle_power_w=100.0, max_power_w=90.0)
+
+
+class TestSnapshotApi:
+    @pytest.fixture
+    def db(self):
+        out = ProfilingDatabase()
+        out.ingest_training_run(KEY, 88.0, quad_samples())
+        out.ingest_training_run(
+            ("i5-4460", "SPECjbb"), 47.0,
+            [(55.0, 7300.0), (67.0, 12800.0), (80.0, 16600.0)],
+        )
+        return out
+
+    def test_entry_is_immutable_view(self, db):
+        entry = db.entry(KEY)
+        assert entry.key == KEY
+        assert entry.idle_power_w == 88.0
+        assert entry.powers == tuple(p for p, _ in quad_samples())
+        with pytest.raises(AttributeError):
+            entry.idle_power_w = 1.0
+
+    def test_entry_miss_raises(self, db):
+        with pytest.raises(DatabaseMissError):
+            db.entry(("Xeon-Phi", "SPECjbb"))
+
+    def test_snapshot_insertion_order(self, db):
+        keys = [entry.key for entry in db.snapshot()]
+        assert keys == [KEY, ("i5-4460", "SPECjbb")]
+
+    def test_restore_entry_round_trip(self, db):
+        entry = db.entry(KEY)
+        fresh = ProfilingDatabase()
+        fresh.restore_entry(entry)
+        restored = fresh.entry(KEY)
+        assert restored == entry
+        # The fit is installed verbatim, not refitted.
+        assert restored.fit.coefficients == entry.fit.coefficients
+
+    def test_restore_entry_replaces_existing(self, db):
+        entry = db.entry(KEY)
+        db.ingest_training_run(KEY, 88.0, quad_samples(powers=(101, 111, 121)))
+        assert db.entry(KEY) != entry
+        db.restore_entry(entry)
+        assert db.entry(KEY) == entry
+
+    def test_restore_rejects_bad_envelope(self, db):
+        import dataclasses
+
+        bad = dataclasses.replace(db.entry(KEY), max_power_w=10.0)
+        with pytest.raises(ConfigurationError):
+            ProfilingDatabase().restore_entry(bad)
+
+    def test_restore_rejects_mismatched_samples(self, db):
+        import dataclasses
+
+        bad = dataclasses.replace(db.entry(KEY), perfs=(1.0,))
+        with pytest.raises(ConfigurationError):
+            ProfilingDatabase().restore_entry(bad)
+
+    def test_restored_entry_keeps_learning(self, db):
+        fresh = ProfilingDatabase()
+        fresh.restore_entry(db.entry(KEY))
+        fresh.add_sample(KEY, 140.0, 23000.0)
+        assert len(fresh.entry(KEY).powers) == len(db.entry(KEY).powers) + 1

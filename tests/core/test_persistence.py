@@ -103,3 +103,56 @@ class TestValidation:
         path.write_text("[1, 2, 3]")
         with pytest.raises(ConfigurationError):
             load_database(path)
+
+
+class TestPredictorPersistence:
+    def _primed(self):
+        from repro.core.predictor import HoltPredictor
+
+        p = HoltPredictor(alpha=0.6, beta=0.3)
+        for v in (120.0, 150.0, 170.0, 160.0):
+            p.observe(v)
+        return p
+
+    def test_round_trip_bit_identical(self):
+        from repro.core.persistence import predictor_from_dict, predictor_to_dict
+
+        p = self._primed()
+        restored = predictor_from_dict(predictor_to_dict(p))
+        assert restored.state_dict() == p.state_dict()
+        assert restored.predict(4) == p.predict(4)
+
+    def test_json_round_trip(self):
+        from repro.core.persistence import predictor_from_dict, predictor_to_dict
+
+        p = self._primed()
+        document = json.loads(json.dumps(predictor_to_dict(p)))
+        assert predictor_from_dict(document).state_dict() == p.state_dict()
+
+    def test_version_mismatch_rejected(self):
+        from repro.core.persistence import predictor_from_dict, predictor_to_dict
+
+        document = predictor_to_dict(self._primed())
+        document["format_version"] = 99
+        with pytest.raises(ConfigurationError):
+            predictor_from_dict(document)
+
+    def test_malformed_rejected(self):
+        from repro.core.persistence import predictor_from_dict
+
+        with pytest.raises(ConfigurationError):
+            predictor_from_dict({"format_version": FORMAT_VERSION})
+
+
+class TestPublicSurfaceOnly:
+    def test_database_to_dict_uses_snapshot_api(self, db):
+        """Serialisation must survive a database exposing only its public API."""
+
+        class Facade:
+            fit_kind = db.fit_kind
+            max_samples = db.max_samples
+
+            def snapshot(self):
+                return db.snapshot()
+
+        assert database_to_dict(Facade()) == database_to_dict(db)

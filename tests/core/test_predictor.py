@@ -133,3 +133,40 @@ class TestTraining:
             errors.append(abs(p.predict() - obs))
             p.observe(float(obs))
         assert np.mean(errors) < 100.0  # within 10% of the 1 kW peak
+
+
+class TestStateDict:
+    def _primed(self):
+        p = HoltPredictor(alpha=0.6, beta=0.3)
+        for v in (10.0, 14.0, 15.0, 13.0):
+            p.observe(v)
+        return p
+
+    def test_round_trip_bit_identical(self):
+        p = self._primed()
+        q = HoltPredictor.from_state_dict(p.state_dict())
+        assert q.state_dict() == p.state_dict()
+        assert q.predict(3) == p.predict(3)
+
+    def test_restored_predictor_keeps_learning(self):
+        p = self._primed()
+        q = HoltPredictor.from_state_dict(p.state_dict())
+        p.observe(16.0)
+        q.observe(16.0)
+        assert q.predict() == p.predict()
+
+    def test_unprimed_round_trip(self):
+        p = HoltPredictor(alpha=0.5, beta=0.5)
+        q = HoltPredictor.from_state_dict(p.state_dict())
+        assert not q.ready
+        assert q.state_dict() == p.state_dict()
+
+    def test_malformed_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HoltPredictor.from_state_dict({"alpha": 0.5})
+
+    def test_invalid_smoothing_rejected(self):
+        state = HoltPredictor(alpha=0.5, beta=0.5).state_dict()
+        state["alpha"] = 7.0
+        with pytest.raises(ConfigurationError):
+            HoltPredictor.from_state_dict(state)

@@ -1,0 +1,68 @@
+"""Load generator: op mix, latency accounting, benchmark record."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.daemon import AllocationDaemon
+from repro.serve.loadgen import _percentile, format_summary, run_loadgen
+from repro.serve.state import ServeConfig, ServeState
+
+SMALL = ServeConfig(platforms=(("E5-2620", 2), ("i5-4460", 2)), n_racks=1)
+
+
+@pytest.fixture(scope="module")
+def served():
+    state = ServeState.build(SMALL)
+    daemon = AllocationDaemon(state, port=0)
+    thread = daemon.run_in_thread()
+    yield daemon
+    daemon.stop_from_thread()
+    thread.join(timeout=30)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert _percentile([], 0.99) == 0.0
+
+    def test_single_sample(self):
+        assert _percentile([4.2], 0.5) == 4.2
+
+    def test_endpoints(self):
+        values = [float(i) for i in range(101)]
+        assert _percentile(values, 0.0) == 0.0
+        assert _percentile(values, 1.0) == 100.0
+        assert _percentile(values, 0.5) == 50.0
+
+
+class TestRunLoadgen:
+    def test_burst_records_benchmark(self, served, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+        result = run_loadgen(
+            port=served.port, connections=2, requests=40, seed=3, out=out
+        )
+        assert result["errors"] == 0
+        assert result["qps"] > 0
+        assert result["latency_ms"]["p50"] <= result["latency_ms"]["p99"]
+        assert sum(result["ops"].values()) == 40
+        # Cycled budget levels must actually repeat programs.
+        cache = result["cache_after"]["racks"]["rack0"]["solver_cache"]
+        assert cache["hits"] > 0
+        assert json.loads(out.read_text()) == result
+
+    def test_summary_is_printable(self, served):
+        result = run_loadgen(port=served.port, connections=1, requests=10)
+        summary = format_summary(result)
+        assert "qps" in summary
+        assert "p99" in summary
+
+    def test_unknown_rack_rejected(self, served):
+        with pytest.raises(ConfigurationError, match="unknown rack"):
+            run_loadgen(port=served.port, rack="rack9", requests=5)
+
+    def test_bad_parameters_rejected(self, served):
+        with pytest.raises(ConfigurationError):
+            run_loadgen(port=served.port, connections=0)
+        with pytest.raises(ConfigurationError):
+            run_loadgen(port=served.port, requests=0)

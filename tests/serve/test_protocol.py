@@ -1,0 +1,92 @@
+"""NDJSON wire format: framing, validation, envelopes."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+
+class TestFraming:
+    def test_encode_is_one_terminated_line(self):
+        line = encode_message({"op": "ping", "id": 1})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_round_trip(self):
+        message = {"id": 7, "op": "allocate", "rack": "rack0", "budget_w": 800.0}
+        assert decode_message(encode_message(message)) == message
+
+    def test_str_lines_accepted(self):
+        assert decode_message('{"op": "ping"}') == {"op": "ping"}
+
+    def test_oversized_line_rejected(self):
+        line = json.dumps({"op": "x" * MAX_LINE_BYTES}).encode()
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_message(line)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            decode_message(b"{nope}")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_message(b"[1, 2, 3]")
+
+
+class TestParseRequest:
+    def test_envelope_and_params_split(self):
+        request = parse_request(
+            {"id": 3, "op": "allocate", "rack": "rack1", "budget_w": 500.0}
+        )
+        assert request.id == 3
+        assert request.op == "allocate"
+        assert request.rack == "rack1"
+        assert request.params == {"budget_w": 500.0}
+
+    def test_id_and_rack_optional(self):
+        request = parse_request({"op": "status"})
+        assert request.id is None
+        assert request.rack is None
+        assert request.params == {}
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ProtocolError, match="string 'op'"):
+            parse_request({"id": 1})
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            parse_request({"op": "destroy"})
+
+    def test_non_string_rack_rejected(self):
+        with pytest.raises(ProtocolError, match="'rack'"):
+            parse_request({"op": "status", "rack": 3})
+
+    def test_every_advertised_op_parses(self):
+        for op in OPS:
+            assert parse_request({"op": op}).op == op
+
+
+class TestResponses:
+    def test_ok_envelope(self):
+        response = ok_response(5, {"pong": True})
+        assert response == {"id": 5, "ok": True, "result": {"pong": True}}
+
+    def test_error_envelope(self):
+        response = error_response(5, "boom", "SolverError")
+        assert response["ok"] is False
+        assert response["error"] == "boom"
+        assert response["error_type"] == "SolverError"
+
+    def test_responses_encode(self):
+        decode_message(encode_message(ok_response(None, {})))
+        decode_message(encode_message(error_response(None, "x")))

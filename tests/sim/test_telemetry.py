@@ -122,3 +122,64 @@ class TestCsvExport:
 
         with pytest.raises(SimulationError):
             TelemetryLog().to_csv(tmp_path / "x.csv")
+
+
+class TestJsonlExport:
+    def test_one_object_per_epoch(self, log, tmp_path):
+        import json
+
+        path = tmp_path / "telemetry.jsonl"
+        log.to_jsonl(path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 3
+        assert lines[0]["case"] == "C"
+        assert lines[0]["budget_w"] == 800.0
+        assert lines[1]["charge_source"] == "grid"
+        assert lines[0]["ratios"] == [0.6, 0.4]
+
+    def test_extra_keys_merged_into_every_line(self, log, tmp_path):
+        import json
+
+        path = tmp_path / "telemetry.jsonl"
+        log.to_jsonl(path, extra={"rack": "rack0", "policy": "GreenHetero"})
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert all(line["rack"] == "rack0" for line in lines)
+        assert all(line["policy"] == "GreenHetero" for line in lines)
+
+    def test_matches_record_to_dict(self, log, tmp_path):
+        import json
+
+        from repro.sim.telemetry import record_to_dict
+
+        path = tmp_path / "telemetry.jsonl"
+        log.to_jsonl(path)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == record_to_dict(list(log)[0])
+
+    def test_empty_log_rejected(self, tmp_path):
+        from repro.errors import SimulationError
+        from repro.sim.telemetry import TelemetryLog
+
+        with pytest.raises(SimulationError):
+            TelemetryLog().to_jsonl(tmp_path / "x.jsonl")
+
+
+class TestRecordToDict:
+    def test_json_ready(self, log):
+        import json
+
+        from repro.sim.telemetry import record_to_dict
+
+        data = record_to_dict(list(log)[0])
+        json.dumps(data)  # everything serializable
+        assert data["case"] == "C"
+        assert data["trained_pairs"] == []
+        assert isinstance(data["ratios"], list)
+
+    def test_powered_counts_listified(self):
+        from dataclasses import replace
+
+        from repro.sim.telemetry import record_to_dict
+
+        data = record_to_dict(replace(record(), powered_counts=(3, 5)))
+        assert data["powered_counts"] == [3, 5]

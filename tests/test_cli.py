@@ -137,3 +137,35 @@ class TestExtensionPolicies:
         assert code == 0
         assert "GreenHetero+" in out
         assert "OnOff" in out
+
+
+class TestServeCommands:
+    def test_serve_args_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--port", "0", "--racks", "2",
+                "--checkpoint", "/tmp/ckpt", "--shared-grid-w", "1500",
+            ]
+        )
+        assert args.port == 0
+        assert args.racks == 2
+        assert args.shared_grid == 1500.0
+        assert args.func.__name__ == "cmd_serve"
+
+    def test_serve_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--policy", "RoundRobin"])
+
+    def test_loadgen_args_parse(self):
+        args = build_parser().parse_args(
+            ["loadgen", "--port", "7000", "--requests", "50", "--out", "b.json"]
+        )
+        assert args.port == 7000
+        assert args.requests == 50
+        assert args.func.__name__ == "cmd_loadgen"
+
+    def test_loadgen_against_no_daemon_is_clean_error(self, capsys):
+        # Port 1 is never listening; the failure must be a clean exit code,
+        # not a traceback.
+        code = main(["loadgen", "--port", "1", "--requests", "1"])
+        assert code == 2
