@@ -25,8 +25,13 @@ Five subcommands cover the workflows a user of the paper's system needs:
     NDJSON-over-TCP allocation API, with checkpoint/restore.
 
 ``repro loadgen``
-    Benchmark a running daemon (qps, p50/p99 latency) and write
-    ``BENCH_serve.json``.
+    Benchmark a running daemon (qps, p50/p99 latency, solver cache hit
+    ratio) and write ``BENCH_serve.json``.
+
+``repro shift``
+    Run the renewable-aware temporal-shifting benchmark (deferrable
+    jobs under the receding-horizon planner vs. a run-immediately
+    baseline) and write ``BENCH_shift.json``.
 
 Every command is deterministic for a given ``--seed``.
 """
@@ -75,6 +80,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         grid_budget_w=args.grid_budget,
         policies=tuple(args.policies),
         seed=args.seed,
+        faults=tuple(args.fault),
     )
     result = run_experiment(config, jobs=args.jobs)
     baseline = "Uniform" if "Uniform" in config.policies else config.policies[0]
@@ -124,6 +130,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             platforms=_parse_platforms(args.platforms),
             policies=tuple(args.policies),
             seed=args.seed,
+            faults=tuple(args.fault),
         )
         for workload in args.workloads
     ]
@@ -319,6 +326,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         weather=_weather(args.weather),
         seed=args.seed,
         shared_grid_w=args.shared_grid,
+        shift_horizon=args.shift_horizon,
     )
     state = ServeState.build(config, checkpoint_dir=args.checkpoint)
     daemon = AllocationDaemon(
@@ -355,6 +363,24 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         out=args.out,
     )
     print(format_summary(result))
+    if args.out:
+        print(f"\nwrote benchmark record to {args.out}")
+    return 0
+
+
+def cmd_shift(args: argparse.Namespace) -> int:
+    from repro.shift.bench import format_shift_summary, run_shift_bench
+
+    payload = run_shift_bench(
+        days=args.days,
+        seed=args.seed,
+        horizon=args.horizon,
+        n_jobs=args.jobs,
+        weather=_weather(args.weather),
+        faults=tuple(args.fault),
+        out=args.out,
+    )
+    print(format_shift_summary(payload))
     if args.out:
         print(f"\nwrote benchmark record to {args.out}")
     return 0
@@ -402,6 +428,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--policies", nargs="+", default=list(POLICY_NAMES),
             choices=all_policies,
             help="Table III policies plus the OnOff and GreenHetero+ extensions",
+        )
+        p.add_argument(
+            "--fault", action="append", default=[], metavar="SPEC",
+            help="inject a supply fault, e.g. 'renewable:0.0:28800:36000' "
+            "(kind:scale:start_s:end_s); repeatable",
         )
 
     run_p = sub.add_parser("run", help="trace-driven experiment (Fig. 8/11 methodology)")
@@ -494,6 +525,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--shared-grid-w", dest="shared_grid", type=float, default=None,
         help="coordinate racks against this shared grid budget",
     )
+    serve_p.add_argument(
+        "--shift-horizon", type=int, default=8,
+        help="lookahead window (epochs) of each rack's shifting planner",
+    )
     serve_p.set_defaults(func=cmd_serve)
 
     loadgen_p = sub.add_parser(
@@ -509,6 +544,31 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen_p.add_argument("--out", metavar="FILE",
                            help="write the benchmark record as JSON")
     loadgen_p.set_defaults(func=cmd_loadgen)
+
+    shift_p = sub.add_parser(
+        "shift",
+        help="temporal-shifting benchmark: planner vs run-immediately "
+        "baseline (writes BENCH_shift.json)",
+    )
+    shift_p.add_argument("--days", type=float, default=1.0)
+    shift_p.add_argument("--seed", type=int, default=2021)
+    shift_p.add_argument(
+        "--horizon", type=int, default=8,
+        help="planner lookahead window in epochs",
+    )
+    shift_p.add_argument(
+        "--jobs", type=int, default=6,
+        help="deferrable jobs submitted over the run",
+    )
+    shift_p.add_argument("--weather", choices=("high", "low"), default="high")
+    shift_p.add_argument(
+        "--fault", action="append", default=[], metavar="SPEC",
+        help="inject a supply fault into both arms, e.g. "
+        "'renewable:0.0:28800:36000'; repeatable",
+    )
+    shift_p.add_argument("--out", metavar="FILE",
+                         help="write the benchmark record as JSON")
+    shift_p.set_defaults(func=cmd_shift)
 
     trace_p = sub.add_parser("trace", help="synthesize an irradiance trace to CSV")
     trace_p.add_argument("--weather", choices=("high", "low"), default="high")

@@ -146,6 +146,12 @@ class GreenHeteroController:
         #: (the Section III-B fixed-budget methodology, used by the
         #: Fig. 9/10/13/14 sweeps); source dynamics are bypassed.
         self.budget_override: Callable[[float, float], float] | None = None
+        #: Optional per-group power caps (W), one entry per group;
+        #: ``math.inf`` leaves a group uncapped.  Caps shape both the
+        #: metered demand and the enforced group budgets — the shift
+        #: runtime sets them each epoch to gate deferrable groups to
+        #: their planned draw while interactive groups run untouched.
+        self.group_caps_w: tuple[float, ...] | None = None
 
     # ------------------------------------------------------------------
     # Workload switching (Algorithm 1's arrival path over time)
@@ -233,12 +239,24 @@ class GreenHeteroController:
     # ------------------------------------------------------------------
     # Epoch execution
     # ------------------------------------------------------------------
+    def _capped_demand(self, load_fraction: float) -> float:
+        """Rack demand with the per-group caps applied."""
+        demands = self.rack.group_demands_at_load(load_fraction)
+        if self.group_caps_w is None:
+            return sum(demands)
+        if len(self.group_caps_w) != len(demands):
+            raise ConfigurationError(
+                f"group_caps_w has {len(self.group_caps_w)} entries for "
+                f"{len(demands)} groups"
+            )
+        return sum(min(d, cap) for d, cap in zip(demands, self.group_caps_w))
+
     def run_epoch(self, time_s: float, load_fraction: float = 1.0) -> EpochRecord:
         """Execute one scheduling epoch starting at ``time_s``."""
         if not 0.0 <= load_fraction <= 1.0:
             raise ConfigurationError("load fraction must be in [0, 1]")
 
-        demand_now = self.monitor.observe_demand(self.rack.demand_at_load(load_fraction))
+        demand_now = self.monitor.observe_demand(self._capped_demand(load_fraction))
         renewable_now = self.monitor.observe_renewable(self.pdu.renewable.power_at(time_s))
         if not self.scheduler.renewable_predictor.ready:
             # First epoch with no history: seed the predictors with the
@@ -265,6 +283,13 @@ class GreenHeteroController:
         plan = self.scheduler.allocate_plan(budget_w, self.groups, oracle)
         ratios = plan.ratios
         group_budgets = tuple(r * budget_w for r in ratios)
+        if self.group_caps_w is not None:
+            group_budgets = tuple(
+                min(b, cap) for b, cap in zip(group_budgets, self.group_caps_w)
+            )
+            ratios = tuple(
+                b / budget_w if budget_w > 0 else 0.0 for b in group_budgets
+            )
         enforced = self.enforcer.spc.apply(
             self.servers, group_budgets, plan.powered_counts
         )

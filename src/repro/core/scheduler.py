@@ -64,6 +64,13 @@ class AdaptiveScheduler:
         self.renewable_predictor = renewable_predictor or HoltPredictor(alpha=0.7, beta=0.2)
         self.demand_predictor = demand_predictor or HoltPredictor(alpha=0.6, beta=0.1)
         self.selector = selector or SourceSelector()
+        #: When set, :meth:`forecast` reports this demand instead of the
+        #: Holt forecast.  A Holt predictor extrapolates trends, so the
+        #: step changes a temporal-shifting plan imposes (batch groups
+        #: starting and stopping at full power) would swing its forecast
+        #: wildly; the shift runtime knows the planned draw exactly and
+        #: injects it here for the epochs it gates.
+        self.demand_override_w: float | None = None
 
     # ------------------------------------------------------------------
     # Prediction
@@ -96,7 +103,12 @@ class AdaptiveScheduler:
                 "predictors have no history; call observe() or "
                 "pretrain_predictors() first"
             )
-        return self.renewable_predictor.predict(), self.demand_predictor.predict()
+        demand_hat = (
+            self.demand_override_w
+            if self.demand_override_w is not None
+            else self.demand_predictor.predict()
+        )
+        return self.renewable_predictor.predict(), demand_hat
 
     # ------------------------------------------------------------------
     # Source selection

@@ -121,6 +121,15 @@ class ServeClient:
         params = {} if load_fraction is None else {"load_fraction": load_fraction}
         return self.request("step", rack=rack, **params)
 
+    def submit(self, rack: str, job: dict[str, Any]) -> dict[str, Any]:
+        return self.request("submit", rack=rack, job=job)
+
+    def plan(self, rack: str) -> dict[str, Any]:
+        return self.request("plan", rack=rack)
+
+    def queue_status(self, rack: str) -> dict[str, Any]:
+        return self.request("queue-status", rack=rack)
+
     def status(self) -> dict[str, Any]:
         return self.request("status")
 

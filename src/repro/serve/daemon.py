@@ -255,6 +255,12 @@ class AllocationDaemon:
             return self._observe(request)
         if op == "step":
             return await self._step(request)
+        if op == "submit":
+            return await self._submit(request)
+        if op == "plan":
+            return await self._plan(request)
+        if op == "queue-status":
+            return await self._queue_status(request)
         if op == "checkpoint":
             return await self._checkpoint()
         if op == "shutdown":
@@ -356,6 +362,54 @@ class AllocationDaemon:
             self._audit(event)
             events.append(event)
         return {"cluster_epoch": self.state.cluster_epochs, "racks": events}
+
+    async def _submit(self, request: Request) -> dict[str, Any]:
+        assert self._loop is not None
+        host = self._rack(request)
+        job = request.params.get("job")
+        if not isinstance(job, dict):
+            raise ProtocolError("submit needs a 'job' object")
+        async with self._locks[host.name]:
+            return await self._loop.run_in_executor(None, host.submit, job)
+
+    async def _plan(self, request: Request) -> dict[str, Any]:
+        """Replan a rack's shift queue; concurrent duplicates coalesce.
+
+        Planning is pure with respect to the rack clock and queue, so
+        concurrent ``plan`` queries against the same rack share one
+        in-flight computation, exactly like duplicate ``allocate``
+        queries.  The sentinel quantum ``-1`` cannot collide with an
+        allocate key: budgets are non-negative, so their quanta are too.
+        """
+        host = self._rack(request)
+        key = (host.name, -1)
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            self.counters["coalesced"] += 1
+            return await asyncio.shield(inflight)
+
+        assert self._loop is not None
+        future: asyncio.Future = self._loop.create_future()
+        self._inflight[key] = future
+        try:
+            async with self._locks[host.name]:
+                result = await self._loop.run_in_executor(None, host.plan)
+            future.set_result(result)
+            return result
+        except BaseException as exc:
+            future.set_exception(exc)
+            # Mark retrieved: waiters re-raise their shielded copy, and a
+            # future nobody awaited must not warn at GC time.
+            future.exception()
+            raise
+        finally:
+            del self._inflight[key]
+
+    async def _queue_status(self, request: Request) -> dict[str, Any]:
+        assert self._loop is not None
+        host = self._rack(request)
+        async with self._locks[host.name]:
+            return await self._loop.run_in_executor(None, host.queue_status)
 
     async def _checkpoint(self) -> dict[str, Any]:
         assert self._loop is not None

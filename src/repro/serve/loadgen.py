@@ -46,6 +46,35 @@ def _percentile(sorted_values: list[float], fraction: float) -> float:
     return sorted_values[rank]
 
 
+def solver_cache_hit_ratio(
+    before: dict[str, Any], after: dict[str, Any]
+) -> float | None:
+    """The burst's aggregate solver-cache hit ratio across all racks.
+
+    Computed from the *delta* of the daemon's counters, so warm caches
+    from earlier traffic don't flatter the measurement.  ``None`` when
+    the burst triggered no solver lookups at all (e.g. an op mix with no
+    ``allocate``).
+    """
+
+    def totals(stats: dict[str, Any]) -> tuple[int, int]:
+        hits = misses = 0
+        for info in stats.get("racks", {}).values():
+            cache = info.get("solver_cache")
+            if cache:
+                hits += int(cache.get("hits", 0))
+                misses += int(cache.get("misses", 0))
+        return hits, misses
+
+    hits_before, misses_before = totals(before)
+    hits_after, misses_after = totals(after)
+    hits = hits_after - hits_before
+    lookups = hits + (misses_after - misses_before)
+    if lookups <= 0:
+        return None
+    return hits / lookups
+
+
 def _worker(
     host: str,
     port: int,
@@ -177,6 +206,7 @@ def run_loadgen(
         },
         "ops": op_counts,
         "errors": errors,
+        "cache_hit_ratio": solver_cache_hit_ratio(cache_before, cache_after),
         "cache_before": cache_before,
         "cache_after": cache_after,
     }
@@ -199,6 +229,11 @@ def format_summary(result: dict[str, Any]) -> str:
         f"  errors      {result['errors']}",
         f"  coalesced   {result['cache_after'].get('coalesced', 0)}",
     ]
+    hit_ratio = result.get("cache_hit_ratio")
+    lines.append(
+        "  cache hit ratio  "
+        + (f"{hit_ratio:.0%}" if hit_ratio is not None else "n/a (no solver lookups)")
+    )
     for name, info in result["cache_after"].get("racks", {}).items():
         cache = info.get("solver_cache")
         if cache:

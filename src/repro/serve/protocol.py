@@ -34,10 +34,13 @@ OPS = frozenset(
         "forecast",
         "observe",
         "ping",
+        "plan",
+        "queue-status",
         "racks",
         "shutdown",
         "status",
         "step",
+        "submit",
     }
 )
 

@@ -40,6 +40,9 @@ from repro.errors import ConfigurationError
 from repro.servers.rack import Rack
 from repro.sim.clock import SimClock
 from repro.sim.engine import Simulation
+from repro.shift.planner import ShiftPlanner
+from repro.shift.queue import ShiftJob
+from repro.shift.runtime import ShiftRuntime
 from repro.sim.telemetry import TelemetryLog, record_to_dict
 from repro.traces.nrel import Weather
 from repro.units import EPOCH_SECONDS
@@ -82,6 +85,9 @@ class ServeConfig:
         grid budget across the racks every cluster epoch.
     epoch_s:
         Scheduling epoch length (paper: 15 minutes).
+    shift_horizon:
+        Lookahead window (epochs) of each rack's temporal-shifting
+        planner (the ``submit``/``plan`` verbs).
     """
 
     platforms: tuple[tuple[str, int], ...] = (("E5-2620", 5), ("i5-4460", 5))
@@ -92,12 +98,15 @@ class ServeConfig:
     seed: int = 2021
     shared_grid_w: float | None = None
     epoch_s: float = EPOCH_SECONDS
+    shift_horizon: int = 8
 
     def __post_init__(self) -> None:
         if self.n_racks < 1:
             raise ConfigurationError("need at least one rack")
         if self.epoch_s <= 0:
             raise ConfigurationError("epoch length must be positive")
+        if self.shift_horizon < 1:
+            raise ConfigurationError("shift horizon must be >= 1")
         # Normalized to float so a persisted-and-reloaded config
         # serializes byte-identically to the original.
         object.__setattr__(self, "epoch_s", float(self.epoch_s))
@@ -112,6 +121,7 @@ class ServeConfig:
             "seed": self.seed,
             "shared_grid_w": self.shared_grid_w,
             "epoch_s": self.epoch_s,
+            "shift_horizon": self.shift_horizon,
         }
 
     @classmethod
@@ -128,6 +138,9 @@ class ServeConfig:
                 seed=int(data["seed"]),
                 shared_grid_w=data["shared_grid_w"],
                 epoch_s=float(data["epoch_s"]),
+                # `.get`: checkpoints written before the shift subsystem
+                # have no horizon entry; the default keeps them readable.
+                shift_horizon=int(data.get("shift_horizon", 8)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed serve config: {exc}") from exc
@@ -149,6 +162,9 @@ class RackHost:
         Timestamp of the rack's first epoch.
     epoch_s:
         Epoch length; the host's clock is ``start_s + n_epochs * epoch_s``.
+    shift:
+        The rack's temporal-shifting runtime (``submit``/``plan`` verbs
+        and epoch gating); a fresh default runtime when omitted.
     """
 
     def __init__(
@@ -158,6 +174,7 @@ class RackHost:
         load_generator: LoadGenerator,
         start_s: float,
         epoch_s: float,
+        shift: ShiftRuntime | None = None,
     ) -> None:
         self.name = name
         self.controller = controller
@@ -166,6 +183,7 @@ class RackHost:
         self.epoch_s = float(epoch_s)
         self.n_epochs = 0
         self.log = TelemetryLog()
+        self.shift = shift if shift is not None else ShiftRuntime()
 
     # ------------------------------------------------------------------
     @property
@@ -236,11 +254,18 @@ class RackHost:
         return self.forecast()
 
     def step(self, load_fraction: float | None = None) -> EpochRecord:
-        """Execute one full scheduling epoch and advance the clock."""
+        """Execute one full scheduling epoch and advance the clock.
+
+        Epochs route through the shift runtime, so submitted deferrable
+        jobs gate the rack's batch groups per the current plan; with no
+        submissions ever made the runtime is pass-through.
+        """
         t = self.clock_s
         if load_fraction is None:
             load_fraction = self.load_generator.at(t).fraction
-        record = self.controller.run_epoch(t, load_fraction=load_fraction)
+        record = self.shift.execute_epoch(
+            self.controller, t, load_fraction=load_fraction
+        )
         self.log.append(record)
         self.n_epochs += 1
         return record
@@ -249,6 +274,44 @@ class RackHost:
         """Account an epoch executed externally (cluster coordination)."""
         self.log.append(record)
         self.n_epochs += 1
+
+    # ------------------------------------------------------------------
+    # Temporal shifting (the submit / plan / queue-status verbs)
+    # ------------------------------------------------------------------
+    def submit(self, job_document: dict[str, Any]) -> dict[str, Any]:
+        """Enqueue one deferrable job; returns the queue snapshot.
+
+        Raises
+        ------
+        ConfigurationError
+            When the rack has no deferrable groups to run the job on, or
+            the job document is malformed / a duplicate.
+        """
+        if not ShiftRuntime.has_deferrable_groups(self.controller):
+            raise ConfigurationError(
+                f"rack {self.name!r} has no deferrable groups; its "
+                "workloads are all interactive"
+            )
+        job = ShiftJob.from_dict(job_document)
+        self.shift.submit(job)
+        return self.queue_status()
+
+    def plan(self) -> dict[str, Any]:
+        """Replan against current state without executing an epoch.
+
+        Pure with respect to the queue and clock: repeated calls at the
+        same instant return identical plans.
+        """
+        plan = self.shift.plan_now(self.controller, self.clock_s)
+        return {"rack": self.name, "plan": plan.to_dict()}
+
+    def queue_status(self) -> dict[str, Any]:
+        """The shift queue and telemetry roll-up for this rack."""
+        return {
+            "rack": self.name,
+            "clock_s": self.clock_s,
+            **self.shift.summary(),
+        }
 
     def cache_info(self) -> dict[str, Any]:
         """Solver memoization health for serving dashboards."""
@@ -279,6 +342,7 @@ class RackHost:
             "grid_budget_w": controller.pdu.grid.budget_w,
             "database_pairs": len(database),
             "predictors_ready": controller.scheduler.renewable_predictor.ready,
+            "shift": self.shift.summary(),
             **self.cache_info(),
         }
 
@@ -297,6 +361,7 @@ class RackHost:
             "battery_soc_wh": self.controller.pdu.battery.soc_wh,
             "renewable_predictor": predictor_to_dict(scheduler.renewable_predictor),
             "demand_predictor": predictor_to_dict(scheduler.demand_predictor),
+            "shift": self.shift.state_dict(),
         }
 
     def restore_state_document(self, document: dict[str, Any]) -> None:
@@ -318,6 +383,11 @@ class RackHost:
             self.controller.pdu.battery.soc_wh = float(document["battery_soc_wh"])
             self.n_epochs = int(document["n_epochs"])
             self.start_s = float(document["start_s"])
+            # `.get`: state documents written before the shift subsystem
+            # carry no queue; the fresh runtime stands in for an empty one.
+            shift_state = document.get("shift")
+            if shift_state is not None:
+                self.shift.load_state_dict(shift_state)
         except (KeyError, TypeError, ValueError) as exc:
             raise ConfigurationError(f"malformed rack state document: {exc}") from exc
 
@@ -396,6 +466,9 @@ class ServeState:
                 load_generator=sim.load_generator,
                 start_s=clock.start_s,
                 epoch_s=clock.epoch_s,
+                shift=ShiftRuntime(
+                    planner=ShiftPlanner(horizon=config.shift_horizon)
+                ),
             )
             # Pay the training-run cost up front so the first allocation
             # query is served from a warm database.

@@ -154,13 +154,21 @@ class Rack:
         """Aggregate throughput with unlimited power."""
         return sum(c.max_throughput * g.count for c, g in zip(self._curves, self.groups))
 
-    def demand_at_load(self, load_fraction: float) -> float:
-        """Rack power demand when every server sees ``load_fraction`` load (W)."""
-        total = 0.0
+    def group_demands_at_load(self, load_fraction: float) -> tuple[float, ...]:
+        """Per-group power demand at ``load_fraction`` load (W).
+
+        Same semantics as :meth:`demand_at_load`, kept separate so
+        callers (the shift runtime) can cap individual groups.
+        """
+        demands = []
         for curve, group in zip(self._curves, self.groups):
             top = curve.states.active_states[-1]
-            total += curve.sample_at_state(top, load_fraction).power_w * group.count
-        return total
+            demands.append(curve.sample_at_state(top, load_fraction).power_w * group.count)
+        return tuple(demands)
+
+    def demand_at_load(self, load_fraction: float) -> float:
+        """Rack power demand when every server sees ``load_fraction`` load (W)."""
+        return sum(self.group_demands_at_load(load_fraction))
 
     def describe(self) -> str:
         """One-line human-readable rack summary."""

@@ -1,0 +1,52 @@
+"""``repro.shift`` — renewable-aware temporal shifting of deferrable work.
+
+GreenHetero's solver decides *how to split* power across heterogeneous
+servers each epoch; this package decides *when* deferrable (batch/HPC)
+work should run at all.  A deadline-aware job queue holds deferrable
+jobs (energy demand, earliest start, deadline, value), and a
+receding-horizon planner rolls the scheduler's Holt predictors forward
+``H`` epochs (forecast chaining), prices each candidate placement
+against the PAR solver's profiling-database projections, and commits
+the placements that maximize value subject to the battery-DoD and
+grid-budget constraints.  The resulting plan gates the rack's batch
+groups epoch by epoch; interactive traffic is untouched.
+
+* :mod:`repro.shift.queue` — :class:`ShiftJob` and the deadline-aware
+  :class:`JobQueue` (checkpointable).
+* :mod:`repro.shift.planner` — forecast chaining, placement pricing,
+  and the :class:`ShiftPlanner` (greedy-by-density with an exhaustive
+  fallback, plus the ``no_shift`` run-immediately baseline).
+* :mod:`repro.shift.runtime` — :class:`ShiftRuntime`, the per-epoch
+  execution layer binding a plan to a rack controller, with its own
+  telemetry (deferred energy, deadline misses, grid energy avoided).
+* :mod:`repro.shift.bench` — the bundled mixed interactive+batch
+  scenario and the shift-vs-no-shift benchmark (``repro shift``,
+  ``BENCH_shift.json``).
+"""
+
+# NOTE: repro.shift.bench is deliberately NOT imported here — it builds
+# simulations (repro.sim.engine), and the engine itself imports
+# repro.shift.runtime; import it directly as ``repro.shift.bench``.
+from repro.shift.planner import (
+    Placement,
+    PlanInputs,
+    ShiftPlan,
+    ShiftPlanner,
+    chain_forecast,
+)
+from repro.shift.queue import JobQueue, JobStatus, ShiftJob
+from repro.shift.runtime import ShiftEpochRecord, ShiftLog, ShiftRuntime
+
+__all__ = [
+    "JobQueue",
+    "JobStatus",
+    "Placement",
+    "PlanInputs",
+    "ShiftEpochRecord",
+    "ShiftLog",
+    "ShiftPlan",
+    "ShiftPlanner",
+    "ShiftJob",
+    "ShiftRuntime",
+    "chain_forecast",
+]

@@ -1,0 +1,215 @@
+"""The shift-vs-no-shift benchmark (``repro shift`` → ``BENCH_shift.json``).
+
+The bundled scenario is a mixed interactive+batch rack — five E5-2620
+running Streamcluster (deferrable) co-located with five i5-4460 serving
+SPECjbb (interactive, diurnal load) — over a day of PV trace, with a
+deterministic set of deferrable jobs submitted up front.  Both arms run
+the GreenHetero policy over identical traces, seeds, and job sets; the
+only difference is the shift planner's policy (``shift`` vs
+``no_shift``), so grid-energy and EPU deltas are attributable to
+temporal shifting alone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.analysis.metrics import shift_comparison
+from repro.core.policies import make_policy
+from repro.power.battery import BatteryBank
+from repro.servers.rack import Rack
+from repro.sim.clock import SimClock
+from repro.sim.engine import Simulation
+from repro.sim.faults import FaultInjector
+from repro.sim.telemetry import TelemetryLog
+from repro.shift.planner import ShiftPlanner
+from repro.shift.queue import ShiftJob
+from repro.shift.runtime import ShiftRuntime
+from repro.traces.nrel import IrradianceTrace, Weather
+from repro.units import SECONDS_PER_DAY
+
+#: The bundled mixed rack: batch group first (PAR order is arbitrary).
+BENCH_PLATFORMS: tuple[tuple[str, int], ...] = (("E5-2620", 5), ("i5-4460", 5))
+BENCH_WORKLOADS: tuple[str, str] = ("Streamcluster", "SPECjbb")
+
+#: The bundled scenario runs on a single battery (not the paper's bank of
+#: ten): with 12 kWh of storage the whole job set rides through the night
+#: on battery and neither arm ever touches the grid, which would leave
+#: temporal shifting nothing to show.  One battery keeps the night
+#: grid-bound, so *when* a job runs decides where its energy comes from.
+BENCH_BATTERY_COUNT = 1
+
+#: Bench planner prices, in units of job value.  Deliberately steep: a
+#: night placement (battery + grid) prices below zero utility and is
+#: deferred, while a renewable-covered placement keeps essentially its
+#: full value — the deferral pressure the benchmark exists to measure.
+BENCH_GRID_PENALTY_PER_KWH = 8.0
+BENCH_BATTERY_PENALTY_PER_KWH = 4.0
+
+
+def build_bench_rack() -> Rack:
+    return Rack(list(BENCH_PLATFORMS), list(BENCH_WORKLOADS))
+
+
+#: Job draw as a fraction of the batch groups' full-load capacity.  It
+#: must map to an *enforceable* per-server budget: the E5-2620's lowest
+#: active DVFS state sits at ~63% of its peak draw, so anything much
+#: lower would put the whole group to sleep instead of running slower.
+#: 0.7 keeps every server of the gated group inside its DVFS ladder and
+#: still means only one job fits at a time (2 x 0.7 > 1).
+BENCH_JOB_CAPACITY_FRACTION = 0.7
+
+
+def bench_jobs(
+    clock: SimClock, batch_capacity_w: float, n_jobs: int
+) -> list[ShiftJob]:
+    """A deterministic deferrable job set for the bundled scenario.
+
+    Each job draws 70% of the batch groups' full-load capacity for two
+    epochs; earliest starts are staggered through the first half of the
+    run and every deadline is the end of the run, leaving the planner
+    real freedom to chase the solar curve.
+    """
+    if n_jobs < 1:
+        raise ValueError("need at least one job")
+    power_w = BENCH_JOB_CAPACITY_FRACTION * batch_capacity_w
+    energy_wh = power_w * 2 * clock.epoch_s / 3600.0
+    stagger = max(1, clock.n_epochs // (2 * n_jobs))
+    end_s = clock.start_s + clock.duration_s
+    return [
+        ShiftJob(
+            job_id=f"job{i}",
+            energy_wh=energy_wh,
+            power_w=power_w,
+            earliest_start_s=clock.start_s + i * stagger * clock.epoch_s,
+            deadline_s=end_s,
+        )
+        for i in range(n_jobs)
+    ]
+
+
+def _run_arm(
+    shift_policy: str,
+    clock: SimClock,
+    trace: IrradianceTrace,
+    weather: Weather,
+    seed: int,
+    horizon: int,
+    n_jobs: int,
+    faults: Sequence[str],
+) -> tuple[TelemetryLog, ShiftRuntime]:
+    rack = build_bench_rack()
+    sim = Simulation.assemble(
+        policy=make_policy("GreenHetero"),
+        rack=rack,
+        weather=weather,
+        clock=SimClock(
+            start_s=clock.start_s, duration_s=clock.duration_s, epoch_s=clock.epoch_s
+        ),
+        seed=seed,
+        trace=trace,
+        battery=BatteryBank(count=BENCH_BATTERY_COUNT),
+    )
+    planner = ShiftPlanner(
+        horizon=horizon,
+        policy=shift_policy,
+        grid_penalty_per_kwh=BENCH_GRID_PENALTY_PER_KWH,
+        battery_penalty_per_kwh=BENCH_BATTERY_PENALTY_PER_KWH,
+    )
+    runtime = ShiftRuntime(planner=planner)
+    batch_capacity = runtime.batch_capacity_w(sim.controller)
+    for job in bench_jobs(clock, batch_capacity, n_jobs):
+        runtime.submit(job)
+    sim.shift = runtime
+    if faults:
+        sim.faults = FaultInjector.from_specs(faults)
+    log = sim.run()
+    return log, runtime
+
+
+def run_shift_bench(
+    days: float = 1.0,
+    seed: int = 2021,
+    horizon: int = 8,
+    n_jobs: int = 6,
+    weather: Weather = Weather.HIGH,
+    faults: Sequence[str] = (),
+    out: str | Path | None = None,
+) -> dict[str, Any]:
+    """Run both arms and return (optionally write) the benchmark payload."""
+    clock = SimClock(
+        start_s=SECONDS_PER_DAY, duration_s=days * SECONDS_PER_DAY
+    )
+    trace = Simulation.default_trace(clock, weather, seed)
+
+    shift_log, shift_rt = _run_arm(
+        "shift", clock, trace, weather, seed, horizon, n_jobs, faults
+    )
+    base_log, base_rt = _run_arm(
+        "no_shift", clock, trace, weather, seed, horizon, n_jobs, faults
+    )
+
+    comparison = shift_comparison(
+        shift_log,
+        base_log,
+        clock.epoch_s,
+        shift_rt.queue.counts(),
+        base_rt.queue.counts(),
+        shift_summary=shift_rt.summary(),
+    )
+    payload: dict[str, Any] = {
+        "bench": "shift",
+        "config": {
+            "platforms": [list(p) for p in BENCH_PLATFORMS],
+            "workloads": list(BENCH_WORKLOADS),
+            "policy": "GreenHetero",
+            "days": days,
+            "seed": seed,
+            "horizon": horizon,
+            "n_jobs": n_jobs,
+            "weather": weather.name,
+            "faults": list(faults),
+        },
+        "comparison": comparison,
+        "shift_epochs": [
+            {
+                "time_s": r.time_s,
+                "batch_power_w": r.batch_power_w,
+                "jobs_started": list(r.jobs_started),
+                "deferred_wh": r.deferred_wh,
+                "grid_avoided_wh": r.grid_avoided_wh,
+                "plan_method": r.plan_method,
+            }
+            for r in shift_rt.log
+        ],
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+def format_shift_summary(payload: dict[str, Any]) -> str:
+    """Human-readable roll-up of a :func:`run_shift_bench` payload."""
+    comp = payload["comparison"]
+    grid = comp["grid_kwh"]
+    epu = comp["epu"]
+    misses = comp["deadline_misses"]
+    return "\n".join(
+        [
+            "shift benchmark "
+            f"({payload['config']['days']} day(s), "
+            f"{payload['config']['n_jobs']} jobs, "
+            f"horizon {payload['config']['horizon']})",
+            f"  grid energy   shift {grid['shift']:.3f} kWh"
+            f" | no_shift {grid['no_shift']:.3f} kWh"
+            f" | saved {grid['saved']:.3f} kWh"
+            f" ({100.0 * grid['saved_fraction']:.1f}%)",
+            f"  mean EPU      shift {epu['shift']:.3f}"
+            f" | no_shift {epu['no_shift']:.3f}"
+            f" | delta {epu['delta']:+.3f}",
+            f"  deadline miss shift {misses['shift']}"
+            f" | no_shift {misses['no_shift']}",
+        ]
+    )

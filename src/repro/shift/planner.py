@@ -1,0 +1,745 @@
+"""Receding-horizon placement of deferrable jobs (lookahead MPC).
+
+Every epoch the planner rolls the scheduler's Holt predictors forward
+``H`` epochs by *forecast chaining* (:func:`chain_forecast`: feed the
+predictor its own one-step forecast and repeat), builds a per-epoch
+supply picture — renewable headroom left over by interactive traffic,
+battery energy above the depth-of-discharge floor, and the grid budget —
+and places pending jobs into the epochs that maximize total utility:
+
+    utility(job, epoch) = value
+                        + perf_weight * marginal_perf
+                        - grid_penalty    * grid_kWh
+                        - battery_penalty * battery_kWh
+
+``marginal_perf`` prices the placement through the existing
+:class:`~repro.core.solver.PARSolver` against the profiling database:
+the projected rack-performance gain of adding the job's power on top of
+the batch power already committed in that epoch.  Energy is drawn
+renewable-first, then battery, then grid; a placement the grid budget
+cannot cover is infeasible.
+
+Two search strategies share the candidate machinery: greedy by utility
+density (utility per Wh, re-priced after each commitment) for arbitrary
+queues, and an exhaustive assignment enumeration when the candidate
+space is small enough to afford it.  A ``no_shift`` policy places every
+job at its earliest feasible epoch — the run-immediately baseline the
+benchmark compares against.
+
+Only offset-0 placements are executed; the rest of the plan is
+re-derived next epoch from fresh forecasts (standard receding-horizon
+control), so a renewable dropout injected mid-run simply shows up in
+the next replan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.core.predictor import HoltPredictor
+from repro.core.solver import GroupModel, PARSolver
+from repro.errors import ConfigurationError, SolverError
+from repro.shift.queue import JobQueue, ShiftJob
+
+_EPS = 1e-9
+
+
+def chain_forecast(predictor: Any, horizon: int) -> tuple[float, ...]:
+    """Roll ``predictor`` forward ``horizon`` epochs by forecast chaining.
+
+    A clone of the predictor observes its own one-step forecast and
+    predicts again, ``horizon`` times.  For Holt's linear method this
+    reproduces the direct ``predict(h) = level + h * trend`` ray exactly
+    (observing the forecast advances the level by one trend step and
+    leaves the trend unchanged), while generalizing to any streaming
+    predictor; the original predictor is never mutated.
+    """
+    if horizon < 1:
+        raise ConfigurationError("horizon must be >= 1")
+    if isinstance(predictor, HoltPredictor):
+        clone = HoltPredictor.from_state_dict(predictor.state_dict())
+        out = []
+        for _ in range(horizon):
+            forecast = clone.predict(1)
+            out.append(forecast)
+            clone.observe(forecast)
+        return tuple(out)
+    # Baseline predictors (persistence, moving average) have no trend to
+    # chain; their direct multi-step forecast is the honest equivalent.
+    return tuple(float(predictor.predict(h)) for h in range(1, horizon + 1))
+
+
+@dataclass(frozen=True)
+class PlanInputs:
+    """Everything one replan needs, as plain per-epoch series.
+
+    All series are indexed by epoch offset from ``time_s`` and must be
+    at least ``1`` long; the planner pads shorter series by repeating
+    the final entry when a job's duration runs past the forecasts.
+    """
+
+    time_s: float
+    epoch_s: float
+    renewable_w: tuple[float, ...]
+    interactive_w: tuple[float, ...]
+    #: Batch power already committed per epoch by running jobs (W).
+    committed_w: tuple[float, ...]
+    #: Rack capacity available to batch groups each epoch (W).
+    batch_capacity_w: float
+    #: Battery energy above the DoD floor at plan time (Wh).
+    battery_usable_wh: float
+    battery_max_discharge_w: float
+    grid_budget_w: float
+    #: Solver models of the rack's deferrable (batch) groups; empty when
+    #: the profiling database has no projections yet.
+    batch_models: tuple[GroupModel, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.epoch_s <= 0:
+            raise ConfigurationError("epoch length must be positive")
+        if not self.renewable_w or not self.interactive_w:
+            raise ConfigurationError("forecast series must be non-empty")
+        for name in ("batch_capacity_w", "battery_usable_wh",
+                     "battery_max_discharge_w", "grid_budget_w"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One job scheduled into a concrete epoch window."""
+
+    job_id: str
+    start_offset: int
+    start_s: float
+    n_epochs: int
+    power_w: float
+    renewable_wh: float
+    battery_wh: float
+    grid_wh: float
+    marginal_perf: float
+    utility: float
+    #: Grid energy this placement saves versus running the job at its
+    #: earliest feasible epoch (the no-shift behaviour); 0 under no_shift.
+    grid_avoided_wh: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "start_offset": int(self.start_offset),
+            "start_s": float(self.start_s),
+            "n_epochs": int(self.n_epochs),
+            "power_w": float(self.power_w),
+            "renewable_wh": float(self.renewable_wh),
+            "battery_wh": float(self.battery_wh),
+            "grid_wh": float(self.grid_wh),
+            "marginal_perf": float(self.marginal_perf),
+            "utility": float(self.utility),
+            "grid_avoided_wh": float(self.grid_avoided_wh),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Placement":
+        try:
+            return cls(
+                job_id=str(data["job_id"]),
+                start_offset=int(data["start_offset"]),
+                start_s=float(data["start_s"]),
+                n_epochs=int(data["n_epochs"]),
+                power_w=float(data["power_w"]),
+                renewable_wh=float(data["renewable_wh"]),
+                battery_wh=float(data["battery_wh"]),
+                grid_wh=float(data["grid_wh"]),
+                marginal_perf=float(data["marginal_perf"]),
+                utility=float(data["utility"]),
+                grid_avoided_wh=float(data["grid_avoided_wh"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed placement: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ShiftPlan:
+    """The outcome of one replan.
+
+    ``placements`` covers newly placed pending jobs; ``batch_power_w``
+    is the resulting total batch draw per horizon epoch including jobs
+    that were already running.  Offset-0 placements are the only ones
+    the runtime executes — everything else is advisory and re-derived
+    next epoch.
+    """
+
+    time_s: float
+    epoch_s: float
+    horizon: int
+    policy: str
+    method: str
+    placements: tuple[Placement, ...]
+    batch_power_w: tuple[float, ...]
+    unplaced: tuple[str, ...]
+    #: ``(job_id, grid_wh)`` for every startable pending job, priced as
+    #: if it started *this* epoch against untouched supply.  The runtime
+    #: keeps the first such quote per job as the run-immediately
+    #: counterfactual its grid-avoided telemetry is measured against.
+    start_now_grid_wh: tuple[tuple[str, float], ...] = ()
+
+    def starting_now(self) -> tuple[Placement, ...]:
+        return tuple(p for p in self.placements if p.start_offset == 0)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "time_s": float(self.time_s),
+            "epoch_s": float(self.epoch_s),
+            "horizon": int(self.horizon),
+            "policy": self.policy,
+            "method": self.method,
+            "placements": [p.to_dict() for p in self.placements],
+            "batch_power_w": [float(v) for v in self.batch_power_w],
+            "unplaced": list(self.unplaced),
+            "start_now_grid_wh": [
+                [job_id, float(grid_wh)]
+                for job_id, grid_wh in self.start_now_grid_wh
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ShiftPlan":
+        try:
+            return cls(
+                time_s=float(data["time_s"]),
+                epoch_s=float(data["epoch_s"]),
+                horizon=int(data["horizon"]),
+                policy=str(data["policy"]),
+                method=str(data["method"]),
+                placements=tuple(
+                    Placement.from_dict(p) for p in data["placements"]
+                ),
+                batch_power_w=tuple(float(v) for v in data["batch_power_w"]),
+                unplaced=tuple(str(j) for j in data["unplaced"]),
+                start_now_grid_wh=tuple(
+                    (str(job_id), float(grid_wh))
+                    for job_id, grid_wh in data.get("start_now_grid_wh", [])
+                ),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed shift plan: {exc}") from exc
+
+
+class _SupplyState:
+    """Mutable per-epoch supply ledger a plan commits placements against.
+
+    Fill order is renewable headroom, then battery (bounded by both the
+    remaining usable energy and the per-epoch discharge rate), then the
+    grid budget; a placement the grid cannot complete is infeasible.
+    """
+
+    def __init__(self, inputs: PlanInputs, span: int) -> None:
+        self.epoch_h = inputs.epoch_s / 3600.0
+
+        def pad(series: Sequence[float]) -> list[float]:
+            padded = [max(0.0, float(v)) for v in series[:span]]
+            while len(padded) < span:
+                padded.append(padded[-1])
+            return padded
+
+        renewable = pad(inputs.renewable_w)
+        interactive = pad(inputs.interactive_w)
+        committed = pad(inputs.committed_w) if inputs.committed_w else [0.0] * span
+
+        self.renewable_free_w = [
+            max(0.0, r - i) for r, i in zip(renewable, interactive)
+        ]
+        self.grid_free_w = [inputs.grid_budget_w] * span
+        self.battery_rate_w = [inputs.battery_max_discharge_w] * span
+        self.battery_wh = inputs.battery_usable_wh
+        self.capacity_w = [inputs.batch_capacity_w] * span
+
+        # Running jobs were admitted by earlier plans; their draw comes
+        # off supply and capacity before anything new is considered.
+        for h, power in enumerate(committed):
+            if power > _EPS:
+                alloc = self.price(power, h, 1)
+                if alloc is None:
+                    # Supply no longer covers them (e.g. a fault hit);
+                    # absorb what exists so new placements stay honest.
+                    self._drain(power, h)
+                else:
+                    self.commit(power, h, 1, alloc)
+
+    def clone(self) -> "_SupplyState":
+        other = object.__new__(_SupplyState)
+        other.epoch_h = self.epoch_h
+        other.renewable_free_w = list(self.renewable_free_w)
+        other.grid_free_w = list(self.grid_free_w)
+        other.battery_rate_w = list(self.battery_rate_w)
+        other.battery_wh = self.battery_wh
+        other.capacity_w = list(self.capacity_w)
+        return other
+
+    def batch_power_at(self, base_capacity_w: float, h: int) -> float:
+        return base_capacity_w - self.capacity_w[h]
+
+    def price(
+        self, power_w: float, start: int, n_epochs: int
+    ) -> tuple[tuple[float, float, float], ...] | None:
+        """Source split per epoch for a candidate, or None if infeasible.
+
+        Each entry is ``(renewable_wh, battery_wh, grid_wh)``.  The
+        state is not mutated; battery draw is tracked locally so a
+        multi-epoch candidate cannot double-spend the pool.
+        """
+        if start + n_epochs > len(self.capacity_w):
+            return None
+        split = []
+        battery_left = self.battery_wh
+        for h in range(start, start + n_epochs):
+            if power_w > self.capacity_w[h] + _EPS:
+                return None
+            need_wh = power_w * self.epoch_h
+            ren = min(need_wh, self.renewable_free_w[h] * self.epoch_h)
+            need_wh -= ren
+            bat = min(
+                need_wh, battery_left, self.battery_rate_w[h] * self.epoch_h
+            )
+            need_wh -= bat
+            battery_left -= bat
+            grid = min(need_wh, self.grid_free_w[h] * self.epoch_h)
+            need_wh -= grid
+            if need_wh > _EPS:
+                return None
+            split.append((ren, bat, grid))
+        return tuple(split)
+
+    def commit(
+        self,
+        power_w: float,
+        start: int,
+        n_epochs: int,
+        split: tuple[tuple[float, float, float], ...],
+    ) -> None:
+        for h, (ren, bat, grid) in zip(range(start, start + n_epochs), split):
+            self.renewable_free_w[h] -= ren / self.epoch_h
+            self.battery_rate_w[h] -= bat / self.epoch_h
+            self.battery_wh -= bat
+            self.grid_free_w[h] -= grid / self.epoch_h
+            self.capacity_w[h] = max(0.0, self.capacity_w[h] - power_w)
+
+    def _drain(self, power_w: float, h: int) -> None:
+        """Best-effort absorption of an over-committed running job."""
+        left_wh = power_w * self.epoch_h
+        ren = min(left_wh, self.renewable_free_w[h] * self.epoch_h)
+        self.renewable_free_w[h] -= ren / self.epoch_h
+        left_wh -= ren
+        bat = min(
+            left_wh, self.battery_wh, self.battery_rate_w[h] * self.epoch_h
+        )
+        self.battery_wh -= bat
+        self.battery_rate_w[h] -= bat / self.epoch_h
+        left_wh -= bat
+        grid = min(left_wh, self.grid_free_w[h] * self.epoch_h)
+        self.grid_free_w[h] -= grid / self.epoch_h
+        self.capacity_w[h] = max(0.0, self.capacity_w[h] - power_w)
+
+
+@dataclass
+class _Candidate:
+    job: ShiftJob
+    offset: int
+    split: tuple[tuple[float, float, float], ...]
+    marginal_perf: float
+    utility: float
+
+    @property
+    def density(self) -> float:
+        return self.utility / self.job.energy_wh
+
+
+class ShiftPlanner:
+    """Places deferrable jobs over the lookahead window.
+
+    Parameters
+    ----------
+    horizon:
+        Lookahead window length in epochs (the paper-default 15-min
+        epochs make ``8`` a two-hour window).
+    policy:
+        ``"shift"`` (utility-maximizing) or ``"no_shift"`` (every job at
+        its earliest feasible epoch — the baseline).
+    grid_penalty_per_kwh / battery_penalty_per_kwh:
+        Energy prices in the utility, in units of job value.  The grid
+        penalty dominating the battery penalty is what makes deferral
+        into renewable-rich epochs win.
+    perf_weight:
+        Weight of the solver-priced marginal performance term; small, so
+        it breaks ties between energy-equivalent epochs rather than
+        overriding energy costs.
+    exhaustive_limit:
+        Maximum size of the job->epoch assignment space for which the
+        exact enumeration replaces the greedy search.
+    solver:
+        The :class:`PARSolver` used for marginal-performance pricing;
+        a private instance is created when omitted.
+    """
+
+    def __init__(
+        self,
+        horizon: int = 8,
+        policy: str = "shift",
+        grid_penalty_per_kwh: float = 1.0,
+        battery_penalty_per_kwh: float = 0.1,
+        perf_weight: float = 1e-6,
+        exhaustive_limit: int = 3000,
+        solver: PARSolver | None = None,
+    ) -> None:
+        if horizon < 1:
+            raise ConfigurationError("horizon must be >= 1")
+        if policy not in ("shift", "no_shift"):
+            raise ConfigurationError(f"unknown shift policy {policy!r}")
+        if exhaustive_limit < 0:
+            raise ConfigurationError("exhaustive_limit must be non-negative")
+        self.horizon = horizon
+        self.policy = policy
+        self.grid_penalty_per_kwh = grid_penalty_per_kwh
+        self.battery_penalty_per_kwh = battery_penalty_per_kwh
+        self.perf_weight = perf_weight
+        self.exhaustive_limit = exhaustive_limit
+        self.solver = solver if solver is not None else PARSolver()
+        self._perf_cache: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    def plan(self, queue: JobQueue, inputs: PlanInputs) -> ShiftPlan:
+        """Produce the plan for this epoch.  The queue is not mutated."""
+        self._perf_cache.clear()
+        pending = queue.pending()
+        span = self.horizon + max(
+            (j.n_epochs(inputs.epoch_s) for j in pending), default=1
+        )
+        state = _SupplyState(inputs, span)
+        pristine = state.clone()
+
+        # The run-immediately counterfactual: what each startable job's
+        # grid draw would be if it started this epoch on untouched
+        # supply.  Quoted before any placement commits, so it is the
+        # same number a no_shift planner would realize.
+        start_now_grid = []
+        for job in pending:
+            if inputs.time_s + _EPS < job.earliest_start_s:
+                continue
+            split = pristine.price(job.power_w, 0, job.n_epochs(inputs.epoch_s))
+            if split is not None:
+                start_now_grid.append((job.job_id, sum(s[2] for s in split)))
+
+        if self.policy == "no_shift":
+            placements, unplaced = self._plan_no_shift(pending, inputs, state)
+            method = "no_shift"
+        else:
+            n_combos = 1
+            offset_sets = {
+                j.job_id: self._feasible_offsets(j, inputs) for j in pending
+            }
+            for offsets in offset_sets.values():
+                n_combos *= len(offsets) + 1
+                if n_combos > self.exhaustive_limit:
+                    break
+            if pending and n_combos <= self.exhaustive_limit:
+                placements, unplaced = self._plan_exhaustive(
+                    pending, offset_sets, inputs, state
+                )
+                method = "exhaustive"
+            else:
+                placements, unplaced = self._plan_greedy(
+                    pending, offset_sets, inputs, state
+                )
+                method = "greedy"
+            placements = self._attach_grid_avoided(
+                placements, pending, inputs, pristine
+            )
+
+        batch_power = tuple(
+            state.batch_power_at(inputs.batch_capacity_w, h)
+            for h in range(self.horizon)
+        )
+        return ShiftPlan(
+            time_s=inputs.time_s,
+            epoch_s=inputs.epoch_s,
+            horizon=self.horizon,
+            policy=self.policy,
+            method=method,
+            placements=tuple(placements),
+            batch_power_w=batch_power,
+            unplaced=tuple(unplaced),
+            start_now_grid_wh=tuple(start_now_grid),
+        )
+
+    # ------------------------------------------------------------------
+    # Candidate machinery
+    # ------------------------------------------------------------------
+    def _feasible_offsets(self, job: ShiftJob, inputs: PlanInputs) -> list[int]:
+        offsets = []
+        for h in range(self.horizon):
+            start_s = inputs.time_s + h * inputs.epoch_s
+            if start_s + _EPS < job.earliest_start_s:
+                continue
+            if start_s > job.latest_start_s(inputs.epoch_s) + _EPS:
+                break
+            offsets.append(h)
+        return offsets
+
+    def _must_start_now(self, job: ShiftJob, inputs: PlanInputs) -> bool:
+        next_start = inputs.time_s + inputs.epoch_s
+        return next_start > job.latest_start_s(inputs.epoch_s) + _EPS
+
+    def _marginal_perf(self, base_power_w: float, power_w: float,
+                       models: tuple[GroupModel, ...]) -> float:
+        if not models:
+            return 0.0
+        key = (round(base_power_w, 6), round(power_w, 6))
+        cached = self._perf_cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            with_job = self.solver.solve(models, base_power_w + power_w)
+            without = (
+                self.solver.solve(models, base_power_w).expected_perf
+                if base_power_w > _EPS
+                else 0.0
+            )
+            marginal = max(0.0, with_job.expected_perf - without)
+        except SolverError:
+            marginal = 0.0
+        self._perf_cache[key] = marginal
+        return marginal
+
+    def _evaluate(
+        self,
+        job: ShiftJob,
+        offset: int,
+        inputs: PlanInputs,
+        state: _SupplyState,
+    ) -> _Candidate | None:
+        n = job.n_epochs(inputs.epoch_s)
+        split = state.price(job.power_w, offset, n)
+        if split is None:
+            return None
+        battery_wh = sum(s[1] for s in split)
+        grid_wh = sum(s[2] for s in split)
+        marginal = sum(
+            self._marginal_perf(
+                state.batch_power_at(inputs.batch_capacity_w, h),
+                job.power_w,
+                inputs.batch_models,
+            )
+            for h in range(offset, offset + n)
+        )
+        utility = (
+            job.value
+            + self.perf_weight * marginal
+            - self.grid_penalty_per_kwh * grid_wh / 1000.0
+            - self.battery_penalty_per_kwh * battery_wh / 1000.0
+        )
+        return _Candidate(job, offset, split, marginal, utility)
+
+    def _to_placement(
+        self, cand: _Candidate, inputs: PlanInputs
+    ) -> Placement:
+        return Placement(
+            job_id=cand.job.job_id,
+            start_offset=cand.offset,
+            start_s=inputs.time_s + cand.offset * inputs.epoch_s,
+            n_epochs=cand.job.n_epochs(inputs.epoch_s),
+            power_w=cand.job.power_w,
+            renewable_wh=sum(s[0] for s in cand.split),
+            battery_wh=sum(s[1] for s in cand.split),
+            grid_wh=sum(s[2] for s in cand.split),
+            marginal_perf=cand.marginal_perf,
+            utility=cand.utility,
+            grid_avoided_wh=0.0,
+        )
+
+    def _commit(self, cand: _Candidate, inputs: PlanInputs,
+                state: _SupplyState) -> None:
+        state.commit(
+            cand.job.power_w,
+            cand.offset,
+            cand.job.n_epochs(inputs.epoch_s),
+            cand.split,
+        )
+
+    # ------------------------------------------------------------------
+    # Search strategies
+    # ------------------------------------------------------------------
+    def _plan_greedy(
+        self,
+        pending: list[ShiftJob],
+        offset_sets: dict[str, list[int]],
+        inputs: PlanInputs,
+        state: _SupplyState,
+    ) -> tuple[list[Placement], list[str]]:
+        placements: list[Placement] = []
+        open_jobs = list(pending)
+        while open_jobs:
+            best: _Candidate | None = None
+            for job in open_jobs:
+                for offset in offset_sets[job.job_id]:
+                    cand = self._evaluate(job, offset, inputs, state)
+                    if cand is None or cand.utility <= 0.0:
+                        continue
+                    # Strictly-better acceptance over a deterministic
+                    # iteration order keeps ties reproducible.
+                    if best is None or (
+                        cand.density,
+                        cand.marginal_perf,
+                        -cand.offset,
+                    ) > (best.density, best.marginal_perf, -best.offset):
+                        best = cand
+            if best is None:
+                break
+            self._commit(best, inputs, state)
+            placements.append(self._to_placement(best, inputs))
+            open_jobs = [j for j in open_jobs if j.job_id != best.job.job_id]
+
+        return self._force_deadline_starts(
+            placements, open_jobs, offset_sets, inputs, state
+        )
+
+    def _force_deadline_starts(
+        self,
+        placements: list[Placement],
+        open_jobs: list[ShiftJob],
+        offset_sets: dict[str, list[int]],
+        inputs: PlanInputs,
+        state: _SupplyState,
+    ) -> tuple[list[Placement], list[str]]:
+        """Forced pass: a job whose last feasible start is *now* either
+        runs at whatever the supply costs, or is missed — deferral is no
+        longer an option, so utility does not gate it."""
+        still_open = []
+        for job in open_jobs:
+            if self._must_start_now(job, inputs) and 0 in offset_sets[job.job_id]:
+                cand = self._evaluate(job, 0, inputs, state)
+                if cand is not None:
+                    self._commit(cand, inputs, state)
+                    placements.append(self._to_placement(cand, inputs))
+                    continue
+            still_open.append(job)
+        return placements, [j.job_id for j in still_open]
+
+    def _plan_exhaustive(
+        self,
+        pending: list[ShiftJob],
+        offset_sets: dict[str, list[int]],
+        inputs: PlanInputs,
+        state: _SupplyState,
+    ) -> tuple[list[Placement], list[str]]:
+        """Exact search over job -> (skip | offset) assignments.
+
+        Assignments are committed in submission order on a cloned supply
+        state; skipping a must-start-now job forfeits its value.  The
+        first assignment (in enumeration order) achieving the strictly
+        best total utility wins, so the result is deterministic.
+        """
+        best_total = -math.inf
+        best_cands: list[_Candidate | None] | None = None
+
+        def recurse(idx: int, scratch: _SupplyState, total: float,
+                    chosen: list[_Candidate | None]) -> None:
+            nonlocal best_total, best_cands
+            if idx == len(pending):
+                if total > best_total + _EPS:
+                    best_total = total
+                    best_cands = list(chosen)
+                return
+            job = pending[idx]
+            # Option 1: skip (penalized only when the job would be lost).
+            penalty = (
+                job.value if self._must_start_now(job, inputs) else 0.0
+            )
+            chosen.append(None)
+            recurse(idx + 1, scratch, total - penalty, chosen)
+            chosen.pop()
+            # Option 2: each feasible offset.
+            for offset in offset_sets[job.job_id]:
+                cand = self._evaluate(job, offset, inputs, scratch)
+                if cand is None:
+                    continue
+                branch = scratch.clone()
+                self._commit(cand, inputs, branch)
+                chosen.append(cand)
+                recurse(idx + 1, branch, total + cand.utility, chosen)
+                chosen.pop()
+
+        recurse(0, state, 0.0, [])
+
+        placements: list[Placement] = []
+        skipped: list[ShiftJob] = []
+        if best_cands is None:
+            best_cands = [None] * len(pending)
+        for job, cand in zip(pending, best_cands):
+            if cand is None:
+                skipped.append(job)
+            else:
+                # Re-price against the real state in commit order so the
+                # returned source splits reflect the joint plan.
+                final = self._evaluate(job, cand.offset, inputs, state)
+                if final is None:  # pragma: no cover - clones agree
+                    skipped.append(job)
+                    continue
+                self._commit(final, inputs, state)
+                placements.append(self._to_placement(final, inputs))
+        # The enumeration may rationally "skip" a job whose last chance
+        # is now (cost > value); the forced pass overrides that, exactly
+        # as in the greedy path — a deadline start is not optional.
+        return self._force_deadline_starts(
+            placements, skipped, offset_sets, inputs, state
+        )
+
+    def _plan_no_shift(
+        self,
+        pending: list[ShiftJob],
+        inputs: PlanInputs,
+        state: _SupplyState,
+    ) -> tuple[list[Placement], list[str]]:
+        placements: list[Placement] = []
+        unplaced: list[str] = []
+        for job in pending:
+            placed = False
+            for offset in self._feasible_offsets(job, inputs):
+                cand = self._evaluate(job, offset, inputs, state)
+                if cand is not None:
+                    self._commit(cand, inputs, state)
+                    placements.append(self._to_placement(cand, inputs))
+                    placed = True
+                    break
+            if not placed:
+                unplaced.append(job.job_id)
+        return placements, unplaced
+
+    def _attach_grid_avoided(
+        self,
+        placements: list[Placement],
+        pending: list[ShiftJob],
+        inputs: PlanInputs,
+        pristine: _SupplyState,
+    ) -> list[Placement]:
+        """Annotate each placement with grid energy saved versus running
+        the same job at its earliest feasible epoch on the untouched
+        supply state (what no-shift would have drawn)."""
+        jobs = {j.job_id: j for j in pending}
+        out = []
+        for placement in placements:
+            job = jobs[placement.job_id]
+            avoided = 0.0
+            offsets = self._feasible_offsets(job, inputs)
+            if offsets:
+                baseline = pristine.price(
+                    job.power_w, offsets[0], job.n_epochs(inputs.epoch_s)
+                )
+                if baseline is not None:
+                    baseline_grid = sum(s[2] for s in baseline)
+                    avoided = max(0.0, baseline_grid - placement.grid_wh)
+            out.append(
+                Placement(**{**placement.to_dict(), "grid_avoided_wh": avoided})
+            )
+        return out

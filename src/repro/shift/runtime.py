@@ -1,0 +1,380 @@
+"""Per-epoch execution of shift plans against a rack controller.
+
+:class:`ShiftRuntime` owns the job queue and a planner, and wraps the
+controller's epoch loop: each epoch it meters interactive demand into
+its own Holt predictor, expires unreachable jobs, replans, starts the
+placements due now, and gates the rack's deferrable groups to exactly
+the planned batch draw via the controller's per-group caps —
+interactive groups run uncapped, so foreground traffic never notices.
+
+Gating only engages once a job has been submitted (``activated``): a
+rack that never sees a deferrable job behaves exactly as it did before
+this subsystem existed, batch groups saturating freely.
+
+The runtime's telemetry (:class:`ShiftLog`) is the shift-specific
+companion to the controller's :class:`~repro.core.controller.EpochRecord`
+stream: per-epoch deferred energy, cumulative deadline misses, and the
+grid energy the plan avoided.  All decision state (queue, interactive
+predictor, last plan, activation) serializes to JSON for the serve
+daemon's checkpoints; telemetry, like the host's epoch log, does not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, TYPE_CHECKING
+
+from repro.core.predictor import HoltPredictor
+from repro.core.solver import GroupModel
+from repro.errors import ConfigurationError
+from repro.shift.planner import PlanInputs, ShiftPlan, ShiftPlanner, chain_forecast
+from repro.shift.queue import JobQueue, JobStatus, ShiftJob
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.controller import EpochRecord, GreenHeteroController
+
+
+@dataclass(frozen=True)
+class ShiftEpochRecord:
+    """Shift telemetry for one epoch."""
+
+    time_s: float
+    #: Total planned batch draw this epoch (W).
+    batch_power_w: float
+    jobs_started: tuple[str, ...]
+    jobs_running: int
+    jobs_completed: tuple[str, ...]
+    #: Energy of jobs still held back at epoch end (Wh).
+    deferred_wh: float
+    #: Cumulative deadline misses up to and including this epoch.
+    deadline_misses: int
+    #: Grid energy the placements started this epoch avoid versus
+    #: running at their earliest feasible epoch (Wh).
+    grid_avoided_wh: float
+    plan_method: str
+
+
+class ShiftLog:
+    """Append-only sequence of :class:`ShiftEpochRecord`."""
+
+    def __init__(self) -> None:
+        self.records: list[ShiftEpochRecord] = []
+
+    def append(self, record: ShiftEpochRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def total_grid_avoided_wh(self) -> float:
+        return sum(r.grid_avoided_wh for r in self.records)
+
+    @property
+    def deadline_misses(self) -> int:
+        return self.records[-1].deadline_misses if self.records else 0
+
+    @property
+    def mean_deferred_wh(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.deferred_wh for r in self.records) / len(self.records)
+
+
+class ShiftRuntime:
+    """Binds a :class:`ShiftPlanner` and :class:`JobQueue` to a controller.
+
+    Parameters
+    ----------
+    planner:
+        The placement planner; a default ``shift``-policy planner with
+        horizon 8 is created when omitted.
+    queue:
+        The job queue; fresh when omitted.
+    """
+
+    def __init__(
+        self,
+        planner: ShiftPlanner | None = None,
+        queue: JobQueue | None = None,
+    ) -> None:
+        self.planner = planner if planner is not None else ShiftPlanner()
+        self.queue = queue if queue is not None else JobQueue()
+        self.log = ShiftLog()
+        self.last_plan: ShiftPlan | None = None
+        #: Gating engages only after the first submission, so racks that
+        #: never see deferrable jobs keep their pre-shift behaviour.
+        self.activated = False
+        # Interactive-only demand forecaster: the scheduler's demand
+        # predictor tracks the *whole* rack (including gated batch
+        # groups), which would make the reserve circular.
+        self._interactive_predictor = HoltPredictor(alpha=0.6, beta=0.1)
+        # First run-immediately grid quote seen per job (Wh): the
+        # counterfactual each job's grid-avoided telemetry compares
+        # its eventual placement against.
+        self._start_baseline_wh: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Queue front door
+    # ------------------------------------------------------------------
+    def submit(self, job: ShiftJob) -> None:
+        self.queue.submit(job)
+        self.activated = True
+
+    # ------------------------------------------------------------------
+    # Rack introspection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def deferrable_indices(controller: "GreenHeteroController") -> list[int]:
+        return [
+            i
+            for i, g in enumerate(controller.rack.groups)
+            if g.workload.is_deferrable
+        ]
+
+    @staticmethod
+    def has_deferrable_groups(controller: "GreenHeteroController") -> bool:
+        return bool(ShiftRuntime.deferrable_indices(controller))
+
+    def _interactive_demand(
+        self, controller: "GreenHeteroController", load_fraction: float
+    ) -> float:
+        demands = controller.rack.group_demands_at_load(load_fraction)
+        return sum(
+            d
+            for d, g in zip(demands, controller.rack.groups)
+            if not g.workload.is_deferrable
+        )
+
+    def batch_capacity_w(self, controller: "GreenHeteroController") -> float:
+        return sum(
+            controller.rack.curve(i).max_draw_w * controller.rack.groups[i].count
+            for i in self.deferrable_indices(controller)
+        )
+
+    def _batch_models(
+        self, controller: "GreenHeteroController"
+    ) -> tuple[GroupModel, ...]:
+        """Solver models for deferrable groups the database has profiled."""
+        database = controller.scheduler.database
+        models = []
+        for i in self.deferrable_indices(controller):
+            group = controller.rack.groups[i]
+            if group.key in database:
+                models.append(
+                    GroupModel(
+                        name=group.spec.name,
+                        count=group.count,
+                        fit=database.projection(group.key),
+                    )
+                )
+        return tuple(models)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _forecast_interactive(
+        self, controller: "GreenHeteroController", fallback_w: float
+    ) -> tuple[float, ...]:
+        horizon = self.planner.horizon
+        if self._interactive_predictor.ready:
+            return chain_forecast(self._interactive_predictor, horizon)
+        return (fallback_w,) * horizon
+
+    def _forecast_renewable(
+        self, controller: "GreenHeteroController", time_s: float
+    ) -> tuple[float, ...]:
+        predictor = controller.scheduler.renewable_predictor
+        if getattr(predictor, "ready", False):
+            return chain_forecast(predictor, self.planner.horizon)
+        current = max(0.0, controller.pdu.renewable.power_at(time_s))
+        return (current,) * self.planner.horizon
+
+    def _committed_w(self, epoch_s: float) -> tuple[float, ...]:
+        committed = [0.0] * self.planner.horizon
+        for job in self.queue.running():
+            remaining = job.n_epochs(epoch_s) - self.queue.epochs_run(job.job_id)
+            for h in range(min(remaining, self.planner.horizon)):
+                committed[h] += job.power_w
+        return tuple(committed)
+
+    def plan_inputs(
+        self,
+        controller: "GreenHeteroController",
+        time_s: float,
+        interactive_now_w: float,
+    ) -> PlanInputs:
+        epoch_s = controller.epoch_s
+        return PlanInputs(
+            time_s=time_s,
+            epoch_s=epoch_s,
+            renewable_w=self._forecast_renewable(controller, time_s),
+            interactive_w=self._forecast_interactive(controller, interactive_now_w),
+            committed_w=self._committed_w(epoch_s),
+            batch_capacity_w=self.batch_capacity_w(controller),
+            battery_usable_wh=controller.pdu.battery.usable_wh,
+            battery_max_discharge_w=controller.pdu.battery.max_discharge_w,
+            grid_budget_w=controller.pdu.grid.budget_w,
+            batch_models=self._batch_models(controller),
+        )
+
+    def plan_now(
+        self, controller: "GreenHeteroController", time_s: float
+    ) -> ShiftPlan:
+        """Replan without executing (the serve daemon's ``plan`` verb).
+
+        Uses the controller's *current* metered state; the queue is not
+        advanced, so repeated calls at the same instant are identical.
+        """
+        interactive_now = self._interactive_demand(controller, 1.0)
+        inputs = self.plan_inputs(controller, time_s, interactive_now)
+        plan = self.planner.plan(self.queue, inputs)
+        self.last_plan = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # Epoch execution
+    # ------------------------------------------------------------------
+    def execute_epoch(
+        self,
+        controller: "GreenHeteroController",
+        time_s: float,
+        load_fraction: float = 1.0,
+    ) -> "EpochRecord":
+        """Run one epoch: expire, replan, gate, execute, account.
+
+        Returns the controller's :class:`EpochRecord`; the shift-side
+        telemetry lands in :attr:`log`.
+        """
+        epoch_s = controller.epoch_s
+        interactive_now = self._interactive_demand(controller, load_fraction)
+        self._interactive_predictor.observe(interactive_now)
+
+        self.queue.expire(time_s, epoch_s)
+        inputs = self.plan_inputs(controller, time_s, interactive_now)
+        plan = self.planner.plan(self.queue, inputs)
+        self.last_plan = plan
+
+        for job_id, quote_wh in plan.start_now_grid_wh:
+            self._start_baseline_wh.setdefault(job_id, quote_wh)
+
+        started: list[str] = []
+        grid_avoided = 0.0
+        for placement in plan.starting_now():
+            self.queue.mark_running(placement.job_id, time_s)
+            started.append(placement.job_id)
+            baseline = self._start_baseline_wh.get(
+                placement.job_id, placement.grid_wh
+            )
+            grid_avoided += max(0.0, baseline - placement.grid_wh)
+
+        running = self.queue.running()
+        batch_power = sum(j.power_w for j in running)
+
+        if self.activated:
+            controller.group_caps_w = self._group_caps(controller, batch_power)
+            # The source selector budgets the rack from the demand
+            # forecast, but the Holt predictor extrapolates the step
+            # changes our gating imposes into nonsense (a job stopping
+            # reads as a plunging trend).  We know this epoch's demand
+            # exactly: the interactive estimate plus the planned draw.
+            controller.scheduler.demand_override_w = interactive_now + batch_power
+            try:
+                record = controller.run_epoch(time_s, load_fraction=load_fraction)
+            finally:
+                controller.group_caps_w = None
+                controller.scheduler.demand_override_w = None
+        else:
+            record = controller.run_epoch(time_s, load_fraction=load_fraction)
+
+        completed: list[str] = []
+        for job in running:
+            self.queue.advance(job.job_id, epoch_s, time_s + epoch_s)
+            if self.queue.status(job.job_id) == JobStatus.DONE:
+                completed.append(job.job_id)
+
+        self.log.append(
+            ShiftEpochRecord(
+                time_s=time_s,
+                batch_power_w=batch_power,
+                jobs_started=tuple(started),
+                jobs_running=len(running),
+                jobs_completed=tuple(completed),
+                deferred_wh=self.queue.backlog_wh(),
+                deadline_misses=self.queue.counts()[JobStatus.MISSED],
+                grid_avoided_wh=grid_avoided,
+                plan_method=plan.method,
+            )
+        )
+        return record
+
+    def _group_caps(
+        self, controller: "GreenHeteroController", batch_power_w: float
+    ) -> tuple[float, ...]:
+        """Per-group caps: interactive uncapped, deferrable share the
+        planned batch draw proportionally to their full-load capacity."""
+        deferrable = set(self.deferrable_indices(controller))
+        weights = {
+            i: controller.rack.curve(i).max_draw_w * controller.rack.groups[i].count
+            for i in deferrable
+        }
+        total = sum(weights.values())
+        caps = []
+        for i in range(len(controller.rack.groups)):
+            if i not in deferrable:
+                caps.append(math.inf)
+            elif total <= 0:
+                caps.append(0.0)
+            else:
+                caps.append(batch_power_w * weights[i] / total)
+        return tuple(caps)
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, Any]:
+        return {
+            "queue": self.queue.state_dict(),
+            "interactive_predictor": self._interactive_predictor.state_dict(),
+            "last_plan": None if self.last_plan is None else self.last_plan.to_dict(),
+            "activated": self.activated,
+            "start_baseline_wh": dict(self._start_baseline_wh),
+        }
+
+    def load_state_dict(self, state: dict[str, Any]) -> None:
+        try:
+            self.queue = JobQueue.from_state_dict(state["queue"])
+            self._interactive_predictor = HoltPredictor.from_state_dict(
+                state["interactive_predictor"]
+            )
+            last_plan = state["last_plan"]
+            self.last_plan = (
+                None if last_plan is None else ShiftPlan.from_dict(last_plan)
+            )
+            self.activated = bool(state["activated"])
+            self._start_baseline_wh = {
+                str(job_id): float(wh)
+                for job_id, wh in state.get("start_baseline_wh", {}).items()
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigurationError(f"malformed shift state: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """Queue and telemetry roll-up for status endpoints and benches."""
+        counts = self.queue.counts()
+        return {
+            "activated": self.activated,
+            "jobs": counts,
+            "backlog_wh": self.queue.backlog_wh(),
+            "deadline_misses": counts[JobStatus.MISSED],
+            "grid_avoided_wh": self.log.total_grid_avoided_wh,
+            "epochs": len(self.log),
+            "last_plan_method": (
+                self.last_plan.method if self.last_plan is not None else None
+            ),
+        }

@@ -35,6 +35,7 @@ from repro.servers.rack import Rack
 from repro.sim.clock import SimClock
 from repro.sim.faults import FaultInjector
 from repro.sim.schedule import WorkloadSchedule
+from repro.shift.runtime import ShiftRuntime
 from repro.sim.telemetry import TelemetryLog
 from repro.traces.datacenter_load import DiurnalLoadPattern
 from repro.traces.nrel import IrradianceTrace, Weather, synthesize_irradiance
@@ -60,6 +61,11 @@ class Simulation:
     #: Optional daily workload rotation (see :mod:`repro.sim.schedule`);
     #: phase changes call :meth:`GreenHeteroController.switch_workload`.
     workload_schedule: "WorkloadSchedule | None" = None
+    #: Optional temporal-shifting runtime (see :mod:`repro.shift`); when
+    #: set, each epoch routes through it so planner decisions gate the
+    #: rack's deferrable groups and shift telemetry accrues in
+    #: ``shift.log``.
+    shift: "ShiftRuntime | None" = None
     #: Remembered assembly knobs so workload switches can rebuild the
     #: offered-load generator consistently.
     diurnal_load: bool = True
@@ -282,6 +288,11 @@ class Simulation:
             self.faults.apply(self.controller, t)
         self._apply_schedule(t)
         load = self.load_generator.at(t)
-        record = self.controller.run_epoch(t, load_fraction=load.fraction)
+        if self.shift is not None:
+            record = self.shift.execute_epoch(
+                self.controller, t, load_fraction=load.fraction
+            )
+        else:
+            record = self.controller.run_epoch(t, load_fraction=load.fraction)
         self.log.append(record)
         return record

@@ -22,6 +22,7 @@ from repro.core.policies import POLICY_NAMES
 from repro.errors import ConfigurationError
 from repro.servers.rack import Rack
 from repro.sim.clock import SimClock
+from repro.sim.faults import parse_fault_spec
 from repro.sim.telemetry import TelemetryLog
 from repro.traces.nrel import Weather
 from repro.units import EPOCH_SECONDS, SECONDS_PER_DAY
@@ -93,6 +94,10 @@ class ExperimentConfig:
     epoch_s: float = EPOCH_SECONDS
     supply_fractions: tuple[float, ...] | None = None
     budget_reference_w: float | None = None
+    #: Fault schedule as ``kind:factor:start_s:end_s`` specs (see
+    #: :func:`repro.sim.faults.parse_fault_spec`); every policy run gets
+    #: its own injector built from these, applied at epoch boundaries.
+    faults: tuple[str, ...] = ()
 
     #: The supply-fraction cycle (of the rack *hardware envelope*) the
     #: Fig. 9/10/13/14 comparisons sweep: the insufficient-supply range
@@ -113,6 +118,8 @@ class ExperimentConfig:
                 "constrained-supply sweep disables the grid, so a grid "
                 "budget would be silently ignored — set grid_budget_w=None"
             )
+        for spec in self.faults:
+            parse_fault_spec(spec)  # fail fast on malformed schedules
 
     # ------------------------------------------------------------------
     # Named scenarios

@@ -18,14 +18,52 @@ Three fault families cover the rack's three sources:
 
 The injector never touches controller internals — it only perturbs the
 same physical interfaces the real world would.
+
+Schedules can be declared as compact text specs —
+``kind:factor:start_s:end_s`` with ``kind`` one of ``renewable``,
+``battery``, ``grid`` (e.g. ``renewable:0.0:10800:21600`` for a total
+PV trip between hours 3 and 6) — so experiment configs and the CLI's
+``--fault`` flag can drive robustness runs without hand-written scripts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.core.controller import GreenHeteroController
 from repro.errors import ConfigurationError
+
+#: Fault families accepted by :func:`parse_fault_spec`.
+FAULT_KINDS = ("renewable", "battery", "grid")
+
+
+def parse_fault_spec(spec: str) -> tuple[str, FaultWindow]:
+    """Parse one ``kind:factor:start_s:end_s`` fault spec.
+
+    Raises
+    ------
+    ConfigurationError
+        On malformed specs (wrong field count, unknown kind, non-numeric
+        values, or window/factor constraints violated).
+    """
+    parts = spec.split(":")
+    if len(parts) != 4:
+        raise ConfigurationError(
+            f"fault spec {spec!r} must be kind:factor:start_s:end_s"
+        )
+    kind, factor_s, start_s, end_s = parts
+    if kind not in FAULT_KINDS:
+        raise ConfigurationError(
+            f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+        )
+    try:
+        factor = float(factor_s)
+        start = float(start_s)
+        end = float(end_s)
+    except ValueError as exc:
+        raise ConfigurationError(f"non-numeric field in fault spec {spec!r}") from exc
+    return kind, FaultWindow(start, end, factor)
 
 
 @dataclass(frozen=True)
@@ -78,6 +116,20 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    @classmethod
+    def from_specs(cls, specs: Iterable[str]) -> "FaultInjector":
+        """Build an injector from ``kind:factor:start_s:end_s`` specs."""
+        injector = cls()
+        for spec in specs:
+            kind, window = parse_fault_spec(spec)
+            if kind == "renewable":
+                injector.renewable_windows.append(window)
+            elif kind == "battery":
+                injector.battery_windows.append(window)
+            else:
+                injector.grid_windows.append(window)
+        return injector
+
     def add_renewable_dropout(self, start_s: float, end_s: float, factor: float = 0.0) -> "FaultInjector":
         """PV/wind output scaled to ``factor`` during the window."""
         self.renewable_windows.append(FaultWindow(start_s, end_s, factor))

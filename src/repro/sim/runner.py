@@ -32,6 +32,7 @@ from repro.core.policies import make_policy
 from repro.errors import ConfigurationError
 from repro.sim.engine import Simulation
 from repro.sim.experiment import ExperimentConfig, ExperimentResult
+from repro.sim.faults import FaultInjector
 from repro.sim.telemetry import TelemetryLog
 from repro.traces.nrel import IrradianceTrace
 
@@ -58,6 +59,10 @@ def _run_policy(
         supply_fractions=config.supply_fractions,
         budget_reference_w=config.budget_reference_w,
     )
+    if config.faults:
+        # Fresh injector per policy run: the injector captures each
+        # controller's healthy component values on first attach.
+        sim.faults = FaultInjector.from_specs(config.faults)
     return sim.run()
 
 

@@ -66,6 +66,11 @@ class Workload:
     def is_interactive(self) -> bool:
         return self.kind is WorkloadKind.INTERACTIVE
 
+    @property
+    def is_deferrable(self) -> bool:
+        """Batch/HPC work can be time-shifted; interactive cannot."""
+        return not self.is_interactive
+
 
 def _interactive(name: str, suite: str, metric: str, pct: float, bound_s: float) -> Workload:
     return Workload(

@@ -1,0 +1,110 @@
+"""Property-style invariants of the PAR solver.
+
+Randomized (but seeded) racks of two or three server types with concave
+quadratic perf/power fits, solved across a sweep of budgets.  Whatever
+the instance, the solver must respect its contract:
+
+* allocated ratios sum to at most 1 (never over-allocates the budget),
+* every per-server operating point is either exactly 0 (powered off) or
+  inside the fit's validity interval ``[min_power_w, max_power_w]``,
+* expected performance is non-negative and monotone-safe at the
+  extremes (zero budget -> zero perf; saturating budget -> every server
+  at its peak).
+"""
+
+import random
+
+import pytest
+
+from repro.core.database import PerfPowerFit
+from repro.core.solver import GroupModel, PARSolver
+
+
+def concave_fit(rng):
+    """A random concave quadratic peaking exactly at ``max_power_w``."""
+    lo = rng.uniform(40.0, 120.0)
+    hi = lo * rng.uniform(1.3, 2.2)
+    t_max = rng.uniform(50.0, 5000.0)
+    span = hi - lo
+    return PerfPowerFit(
+        coefficients=(
+            -t_max / span**2,
+            2 * t_max * hi / span**2,
+            t_max - t_max * hi**2 / span**2,
+        ),
+        min_power_w=lo,
+        max_power_w=hi,
+    )
+
+
+def random_rack(rng):
+    n_groups = rng.choice([2, 3])
+    return [
+        GroupModel(
+            name=f"G{i}",
+            count=rng.randint(1, 8),
+            fit=concave_fit(rng),
+        )
+        for i in range(n_groups)
+    ]
+
+
+def budget_sweep(groups, rng):
+    """Budgets spanning hopeless to saturating for this instance."""
+    saturate = sum(g.count * g.fit.max_power_w for g in groups)
+    fractions = [0.0, 0.05, 0.2, 0.5, 0.8, 1.0, 1.3]
+    return [f * saturate for f in fractions] + [rng.uniform(0.0, saturate)]
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_solver_invariants_hold_on_random_racks(seed):
+    rng = random.Random(2021 + seed)
+    solver = PARSolver(safety_margin=0.0)
+    groups = random_rack(rng)
+    for budget in budget_sweep(groups, rng):
+        sol = solver.solve(groups, budget)
+
+        assert sum(sol.ratios) <= 1.0 + 1e-9
+        assert all(r >= 0.0 for r in sol.ratios)
+        assert sol.expected_perf >= 0.0
+
+        for g, per_server in zip(groups, sol.per_server_w):
+            if per_server == 0.0:
+                continue  # powered off is always legal
+            assert g.fit.min_power_w - 1e-6 <= per_server, (seed, budget)
+            assert per_server <= g.fit.max_power_w + 1e-6, (seed, budget)
+
+        # The allocation must actually fit in the budget.
+        spent = sum(
+            g.count * p for g, p in zip(groups, sol.per_server_w)
+        )
+        assert spent <= budget + 1e-6
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_extreme_budgets(seed):
+    rng = random.Random(7 + seed)
+    solver = PARSolver(safety_margin=0.0)
+    groups = random_rack(rng)
+
+    assert solver.solve(groups, 0.0).expected_perf == 0.0
+
+    saturate = sum(g.count * g.fit.max_power_w for g in groups)
+    peak = sum(g.count * g.fit.predict(g.fit.max_power_w) for g in groups)
+    sol = solver.solve(groups, 2.0 * saturate)
+    assert sol.expected_perf == pytest.approx(peak, rel=0.01)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_safety_margin_raises_power_on_floor(seed):
+    """With a margin, active servers sit at or above the padded floor."""
+    rng = random.Random(100 + seed)
+    solver = PARSolver(safety_margin=0.05)
+    groups = random_rack(rng)
+    for budget in budget_sweep(groups, rng):
+        sol = solver.solve(groups, budget)
+        for g, per_server in zip(groups, sol.per_server_w):
+            if per_server == 0.0:
+                continue
+            floor = min(g.fit.min_power_w * 1.05, g.fit.max_power_w)
+            assert per_server >= floor - 1e-6

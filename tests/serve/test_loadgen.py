@@ -6,7 +6,12 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.serve.daemon import AllocationDaemon
-from repro.serve.loadgen import _percentile, format_summary, run_loadgen
+from repro.serve.loadgen import (
+    _percentile,
+    format_summary,
+    run_loadgen,
+    solver_cache_hit_ratio,
+)
 from repro.serve.state import ServeConfig, ServeState
 
 SMALL = ServeConfig(platforms=(("E5-2620", 2), ("i5-4460", 2)), n_racks=1)
@@ -35,6 +40,49 @@ class TestPercentile:
         assert _percentile(values, 1.0) == 100.0
         assert _percentile(values, 0.5) == 50.0
 
+    def test_max_fraction_never_overruns_small_samples(self):
+        # Regression guard: nearest-rank with fraction 1.0 must index the
+        # last element, not one past it, at every sample size.
+        for n in range(1, 6):
+            values = [float(i) for i in range(n)]
+            assert _percentile(values, 1.0) == values[-1]
+            assert _percentile(values, 0.99) <= values[-1]
+
+    def test_two_samples_split_at_the_median(self):
+        assert _percentile([1.0, 9.0], 0.0) == 1.0
+        assert _percentile([1.0, 9.0], 0.49) == 1.0
+        assert _percentile([1.0, 9.0], 0.51) == 9.0
+        assert _percentile([1.0, 9.0], 1.0) == 9.0
+
+
+class TestCacheHitRatio:
+    def stats(self, hits, misses):
+        return {
+            "racks": {
+                "rack0": {"solver_cache": {"hits": hits, "misses": misses}}
+            }
+        }
+
+    def test_burst_delta_not_absolute_counters(self):
+        # A warm cache (100 prior hits) must not flatter the burst.
+        before = self.stats(100, 50)
+        after = self.stats(104, 54)
+        assert solver_cache_hit_ratio(before, after) == pytest.approx(0.5)
+
+    def test_no_lookups_is_none(self):
+        stats = self.stats(10, 5)
+        assert solver_cache_hit_ratio(stats, stats) is None
+
+    def test_racks_without_caches_are_skipped(self):
+        before = {"racks": {"rack0": {"solver_cache": None}}}
+        after = {
+            "racks": {
+                "rack0": {"solver_cache": None},
+                "rack1": {"solver_cache": {"hits": 3, "misses": 1}},
+            }
+        }
+        assert solver_cache_hit_ratio(before, after) == pytest.approx(0.75)
+
 
 class TestRunLoadgen:
     def test_burst_records_benchmark(self, served, tmp_path):
@@ -49,6 +97,7 @@ class TestRunLoadgen:
         # Cycled budget levels must actually repeat programs.
         cache = result["cache_after"]["racks"]["rack0"]["solver_cache"]
         assert cache["hits"] > 0
+        assert 0.0 < result["cache_hit_ratio"] <= 1.0
         assert json.loads(out.read_text()) == result
 
     def test_summary_is_printable(self, served):
@@ -56,6 +105,7 @@ class TestRunLoadgen:
         summary = format_summary(result)
         assert "qps" in summary
         assert "p99" in summary
+        assert "cache hit ratio" in summary
 
     def test_unknown_rack_rejected(self, served):
         with pytest.raises(ConfigurationError, match="unknown rack"):

@@ -8,7 +8,9 @@ from repro.errors import ConfigurationError
 from repro.servers.rack import Rack
 from repro.sim.clock import SimClock
 from repro.sim.engine import Simulation
-from repro.sim.faults import FaultInjector, FaultWindow
+from repro.sim.experiment import ExperimentConfig
+from repro.sim.faults import FaultInjector, FaultWindow, parse_fault_spec
+from repro.sim.runner import run_experiment
 from repro.units import SECONDS_PER_DAY
 
 DAY = SECONDS_PER_DAY
@@ -133,3 +135,81 @@ class TestComposition:
         a = assemble(None, hours=2.0).run()
         b = assemble(FaultInjector(), hours=2.0).run()
         assert np.allclose(a.throughputs, b.throughputs)
+
+
+class TestFaultSpecs:
+    """The ``kind:factor:start_s:end_s`` CLI spec language."""
+
+    def test_parse_valid_spec(self):
+        kind, window = parse_fault_spec("renewable:0.25:100:200")
+        assert kind == "renewable"
+        assert window == FaultWindow(100.0, 200.0, 0.25)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "renewable:0.0:100",           # wrong field count
+            "solar:0.0:100:200",           # unknown kind
+            "renewable:zero:100:200",      # non-numeric factor
+            "renewable:0.0:200:100",       # empty window
+            "renewable:1.5:100:200",       # factor out of range
+        ],
+    )
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_fault_spec(spec)
+
+    def test_from_specs_routes_each_kind(self):
+        injector = FaultInjector.from_specs(
+            [
+                "renewable:0.0:0:10",
+                "battery:0.5:0:10",
+                "grid:0.0:0:10",
+            ]
+        )
+        assert len(injector.renewable_windows) == 1
+        assert len(injector.battery_windows) == 1
+        assert len(injector.grid_windows) == 1
+
+
+class TestExperimentWiring:
+    """``ExperimentConfig.faults`` must reach every policy's simulation."""
+
+    def test_bad_spec_rejected_at_config_time(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(faults=("bogus",))
+
+    def test_injected_dropout_changes_the_run(self):
+        # A quarter-day run straddling midday of simulated day 1, with a
+        # two-hour dropout aligned to the epoch grid (metering is
+        # sub-epoch, so a straddling window would only scale part of an
+        # epoch's renewable).
+        start_s = 1.4 * DAY
+        dropout_start = start_s + 4 * 900.0
+        dropout_end = dropout_start + 7200.0
+        base = ExperimentConfig(
+            days=0.25, start_day=1.4, policies=("GreenHetero",), seed=13
+        )
+        faulty = ExperimentConfig(
+            days=0.25,
+            start_day=1.4,
+            policies=("GreenHetero",),
+            seed=13,
+            # Full-precision endpoints: the epoch grid lives at
+            # 1.4 * DAY + k * 900 (not a round number), and a rounded
+            # window would only partially cover its boundary epochs.
+            faults=(f"renewable:0.0:{dropout_start!r}:{dropout_end!r}",),
+        )
+        clean_log = run_experiment(base).log("GreenHetero")
+        faulty_log = run_experiment(faulty).log("GreenHetero")
+        # During the dropout no renewable reaches the load...
+        window = [
+            r for r in faulty_log if dropout_start <= r.time_s < dropout_end
+        ]
+        assert window
+        assert all(r.renewable_metered_w == 0.0 for r in window)
+        # ...whereas the clean run was solar-powered then.
+        clean_window = [
+            r for r in clean_log if dropout_start <= r.time_s < dropout_end
+        ]
+        assert any(r.renewable_metered_w > 0.0 for r in clean_window)
