@@ -328,9 +328,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         shared_grid_w=args.shared_grid,
         shift_horizon=args.shift_horizon,
     )
+    if args.trace_log is not None:
+        from repro.obs import set_trace_sink
+
+        set_trace_sink(args.trace_log)
     state = ServeState.build(config, checkpoint_dir=args.checkpoint)
     daemon = AllocationDaemon(
-        state, host=args.host, port=args.port, audit_log=args.audit_log
+        state,
+        host=args.host,
+        port=args.port,
+        audit_log=args.audit_log,
+        metrics_interval_s=args.metrics_interval,
     )
 
     async def serve() -> None:
@@ -520,6 +528,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--audit-log", metavar="FILE",
         help="append a JSONL event stream (epochs, checkpoints) here",
+    )
+    serve_p.add_argument(
+        "--metrics-interval", type=float, default=None, metavar="SECONDS",
+        help="dump a metrics snapshot into the audit log every SECONDS "
+        "(requires --audit-log); the 'metrics' verb serves scrapes either way",
+    )
+    serve_p.add_argument(
+        "--trace-log", metavar="FILE",
+        help="append finished observability spans as JSONL here",
     )
     serve_p.add_argument(
         "--shared-grid-w", dest="shared_grid", type=float, default=None,

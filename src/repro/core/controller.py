@@ -36,6 +36,7 @@ from repro.core.policies import GroupInfo, Policy
 from repro.core.scheduler import AdaptiveScheduler
 from repro.core.sources import PowerCase, SourceDecision
 from repro.errors import ConfigurationError
+from repro.obs.tracing import trace
 from repro.power.pdu import PDU
 from repro.power.sources import ChargeSource
 from repro.servers.rack import Rack
@@ -228,13 +229,14 @@ class GreenHeteroController:
         """
         if not self.policy.uses_database:
             return ()
-        missing = self.scheduler.missing_pairs(self.groups)
-        for key in missing:
-            group_index = next(
-                i for i, g in enumerate(self.groups) if g.key == key
-            )
-            self._training_run(group_index, time_s)
-        return tuple(missing)
+        with trace("scheduler.profile"):
+            missing = self.scheduler.missing_pairs(self.groups)
+            for key in missing:
+                group_index = next(
+                    i for i, g in enumerate(self.groups) if g.key == key
+                )
+                self._training_run(group_index, time_s)
+            return tuple(missing)
 
     # ------------------------------------------------------------------
     # Epoch execution
@@ -251,6 +253,7 @@ class GreenHeteroController:
             )
         return sum(min(d, cap) for d, cap in zip(demands, self.group_caps_w))
 
+    @trace("controller.epoch")
     def run_epoch(self, time_s: float, load_fraction: float = 1.0) -> EpochRecord:
         """Execute one scheduling epoch starting at ``time_s``."""
         if not 0.0 <= load_fraction <= 1.0:

@@ -28,6 +28,14 @@ import numpy as np
 from scipy import optimize
 
 from repro.errors import ConfigurationError
+from repro.obs.metrics import REGISTRY as _REGISTRY
+
+_FITS_TOTAL = _REGISTRY.counter(
+    "repro_predictor_fits_total", "HoltPredictor.fit invocations"
+)
+_FIT_SECONDS = _REGISTRY.histogram(
+    "repro_predictor_fit_seconds", "HoltPredictor.fit wall time"
+)
 
 
 class HoltPredictor:
@@ -228,7 +236,14 @@ class HoltPredictor:
         data = np.asarray(history, dtype=float)
         if len(data) < 3:
             raise ConfigurationError("need at least 3 observations to fit")
+        _FITS_TOTAL.inc()
+        with _FIT_SECONDS.time():
+            return cls._fit_impl(data, nonnegative, grid_steps)
 
+    @classmethod
+    def _fit_impl(
+        cls, data: np.ndarray, nonnegative: bool, grid_steps: int
+    ) -> "HoltPredictor":
         # One vectorised scoring pass over the whole (alpha, beta) grid;
         # argmin keeps the first minimum, matching the scalar scan's
         # strict-improvement rule in the same (alpha-major) order.

@@ -32,6 +32,7 @@ from repro.core.policies import (
 from repro.core.predictor import HoltPredictor
 from repro.core.sources import SourceDecision, SourceSelector
 from repro.errors import ConfigurationError
+from repro.obs.tracing import trace
 from repro.power.battery import BatteryBank
 from repro.power.grid import GridSource
 
@@ -98,17 +99,18 @@ class AdaptiveScheduler:
             Before the first observation; prime with
             :meth:`pretrain_predictors` or :meth:`observe` first.
         """
-        if not self.renewable_predictor.ready or not self.demand_predictor.ready:
-            raise ConfigurationError(
-                "predictors have no history; call observe() or "
-                "pretrain_predictors() first"
+        with trace("scheduler.forecast"):
+            if not self.renewable_predictor.ready or not self.demand_predictor.ready:
+                raise ConfigurationError(
+                    "predictors have no history; call observe() or "
+                    "pretrain_predictors() first"
+                )
+            demand_hat = (
+                self.demand_override_w
+                if self.demand_override_w is not None
+                else self.demand_predictor.predict()
             )
-        demand_hat = (
-            self.demand_override_w
-            if self.demand_override_w is not None
-            else self.demand_predictor.predict()
-        )
-        return self.renewable_predictor.predict(), demand_hat
+            return self.renewable_predictor.predict(), demand_hat
 
     # ------------------------------------------------------------------
     # Source selection
@@ -117,14 +119,15 @@ class AdaptiveScheduler:
         self, battery: BatteryBank, grid: GridSource, duration_s: float
     ) -> SourceDecision:
         """Case A/B/C selection from the current forecasts."""
-        renewable_hat, demand_hat = self.forecast()
-        return self.selector.decide(
-            predicted_renewable_w=renewable_hat,
-            predicted_demand_w=demand_hat,
-            battery=battery,
-            grid=grid,
-            duration_s=duration_s,
-        )
+        with trace("scheduler.select"):
+            renewable_hat, demand_hat = self.forecast()
+            return self.selector.decide(
+                predicted_renewable_w=renewable_hat,
+                predicted_demand_w=demand_hat,
+                battery=battery,
+                grid=grid,
+                duration_s=duration_s,
+            )
 
     # ------------------------------------------------------------------
     # Database interaction (Algorithm 1)
@@ -168,13 +171,14 @@ class AdaptiveScheduler:
         oracle: Callable[[tuple[float, ...]], float] | None = None,
     ) -> AllocationPlan:
         """Ask the policy for this epoch's full allocation plan."""
-        ctx = AllocationContext(
-            budget_w=budget_w,
-            groups=tuple(groups),
-            database=self.database,
-            oracle=oracle,
-        )
-        return self.policy.allocate_plan(ctx)
+        with trace("scheduler.solve"):
+            ctx = AllocationContext(
+                budget_w=budget_w,
+                groups=tuple(groups),
+                database=self.database,
+                oracle=oracle,
+            )
+            return self.policy.allocate_plan(ctx)
 
     def allocate(
         self,

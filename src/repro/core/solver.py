@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -51,6 +52,21 @@ from scipy import optimize
 
 from repro.core.database import PerfPowerFit
 from repro.errors import SolverError
+from repro.obs.metrics import REGISTRY as _REGISTRY
+
+# Process-wide solver telemetry (per-instance counters stay authoritative
+# for cache_info(); these aggregate across every solver in the process).
+_SOLVE_SECONDS = _REGISTRY.histogram(
+    "repro_solver_solve_seconds", "PARSolver.solve wall time (cache hits included)"
+)
+_SOLVES_TOTAL = _REGISTRY.counter(
+    "repro_solver_solves_total", "Solves by winning mechanism", labelnames=("method",)
+)
+_CACHE_LOOKUPS = _REGISTRY.counter(
+    "repro_solver_cache_lookups_total", "Solve-cache lookups", labelnames=("result",)
+)
+_CACHE_HIT = _CACHE_LOOKUPS.labels("hit")
+_CACHE_MISS = _CACHE_LOOKUPS.labels("miss")
 
 
 @dataclass(frozen=True)
@@ -190,21 +206,31 @@ class PARSolver:
             On empty input, too many groups, or a negative budget.
         """
         self._validate_inputs(groups, total_power_w)
-        if self.cache_size == 0:
-            return self._solve_impl(groups, total_power_w)
-        key = self._cache_key(groups, total_power_w)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            return cached
-        self.cache_misses += 1
-        solution = self._solve_impl(groups, total_power_w)
-        if len(self._cache) >= self.cache_size:
-            # FIFO eviction: dict preserves insertion order and the
-            # adaptive policies retire old fits monotonically.
-            self._cache.pop(next(iter(self._cache)))
-        self._cache[key] = solution
-        return solution
+        start = perf_counter()
+        try:
+            if self.cache_size == 0:
+                solution = self._solve_impl(groups, total_power_w)
+                _SOLVES_TOTAL.labels(solution.method).inc()
+                return solution
+            key = self._cache_key(groups, total_power_w)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                _CACHE_HIT.inc()
+                _SOLVES_TOTAL.labels("cached").inc()
+                return cached
+            self.cache_misses += 1
+            _CACHE_MISS.inc()
+            solution = self._solve_impl(groups, total_power_w)
+            _SOLVES_TOTAL.labels(solution.method).inc()
+            if len(self._cache) >= self.cache_size:
+                # FIFO eviction: dict preserves insertion order and the
+                # adaptive policies retire old fits monotonically.
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[key] = solution
+            return solution
+        finally:
+            _SOLVE_SECONDS.observe(perf_counter() - start)
 
     # ------------------------------------------------------------------
     # Memoization

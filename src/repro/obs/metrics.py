@@ -1,0 +1,568 @@
+"""Metric primitives and the process-wide registry.
+
+Three metric kinds, mirroring the Prometheus data model:
+
+``Counter``
+    Monotonically increasing float (requests served, cache hits).
+``Gauge``
+    A value that can go both ways (queue depth, battery SoC).
+``Histogram``
+    Observation distribution over fixed power-of-two buckets spanning
+    ~1 µs to ~64 s — the full range from a counter increment to a
+    multi-day simulation epoch.  Raw samples are additionally retained
+    up to :data:`Histogram.SAMPLE_CAP` observations, so small samples
+    (the common case for per-run telemetry) get *exact* percentiles;
+    past the cap, percentiles degrade gracefully to bucket upper
+    bounds.
+
+Metrics are registered as *families*: a name plus a tuple of label
+names, with one child per distinct label-value tuple
+(``family.labels("hit")``).  A family with no labels acts as its own
+single child.  Registration is idempotent — re-declaring the same
+family returns the existing one, so modules can declare their metrics
+at import time without coordination.
+
+All mutation is guarded by per-child locks (the serving daemon mixes an
+asyncio loop with executor threads) and short-circuits on the global
+enabled flag, which is how :mod:`repro.obs.bench` measures the
+disabled/enabled overhead delta.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from time import perf_counter
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.stats import percentile
+
+#: Fixed histogram bounds: powers of two from 2^-20 s (~1 µs) to 2^6 s
+#: (64 s), plus the implicit +Inf bucket.  Fixed — rather than
+#: per-metric — so any two histograms can be aggregated bucket-wise.
+POWER_OF_TWO_BUCKETS: tuple[float, ...] = tuple(2.0**e for e in range(-20, 7))
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Global kill switch.  Checked first in every mutation path; flipping
+#: it off reduces instrumentation to one module-global read per call.
+_ENABLED = True
+
+
+def set_enabled(enabled: bool) -> None:
+    """Turn all metric mutation (and span recording) on or off."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+def obs_enabled() -> bool:
+    """Whether instrumentation is currently recording."""
+    return _ENABLED
+
+
+def _fmt(value: float) -> str:
+    """A float in exposition format: integral values without the dot."""
+    if value != value or value in (math.inf, -math.inf):  # NaN / ±Inf
+        return {math.inf: "+Inf", -math.inf: "-Inf"}.get(value, "NaN")
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_suffix(labelnames: Sequence[str], labelvalues: Sequence[str]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + pairs + "}"
+
+
+class _Timer:
+    """Context manager observing elapsed wall time into a histogram."""
+
+    __slots__ = ("_sink", "_start")
+
+    def __init__(self, sink: "Histogram | HistogramFamily") -> None:
+        self._sink = sink
+
+    def __enter__(self) -> "_Timer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._sink.observe(perf_counter() - self._start)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _ENABLED:
+            return
+        if amount < 0:
+            raise ConfigurationError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def state(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can rise and fall."""
+
+    kind = "gauge"
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        if not _ENABLED:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not _ENABLED:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def state(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Power-of-two-bucket histogram with exact small-sample quantiles.
+
+    Parameters
+    ----------
+    buckets:
+        Strictly increasing finite upper bounds; defaults to
+        :data:`POWER_OF_TWO_BUCKETS`.  An implicit +Inf bucket is always
+        appended.
+    sample_cap:
+        Raw observations retained for exact percentiles.  Beyond the
+        cap the raw sample is dropped and :meth:`percentile` answers
+        from bucket upper bounds instead — bounded memory for long-
+        running daemons.
+    """
+
+    kind = "histogram"
+
+    SAMPLE_CAP = 2048
+
+    __slots__ = ("_count", "_counts", "_lock", "_samples", "_sum", "bounds", "sample_cap")
+
+    def __init__(
+        self,
+        buckets: Sequence[float] | None = None,
+        sample_cap: int | None = None,
+    ) -> None:
+        bounds = tuple(float(b) for b in (buckets if buckets is not None else POWER_OF_TWO_BUCKETS))
+        if not bounds:
+            raise ConfigurationError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError("bucket bounds must be strictly increasing")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ConfigurationError("bucket bounds must be finite (+Inf is implicit)")
+        self.bounds = bounds
+        self.sample_cap = Histogram.SAMPLE_CAP if sample_cap is None else int(sample_cap)
+        self._counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._samples: list[float] | None = []
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        if not _ENABLED:
+            return
+        value = float(value)
+        # First bucket whose bound >= value (+Inf catch-all past the end).
+        lo = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[lo] += 1
+            self._sum += value
+            self._count += 1
+            if self._samples is not None:
+                if self._count <= self.sample_cap:
+                    self._samples.append(value)
+                else:
+                    self._samples = None  # past the cap: buckets only
+
+    def time(self) -> _Timer:
+        """``with hist.time(): ...`` records the block's wall time."""
+        return _Timer(self)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Quantile estimate: exact below the sample cap, else bucketed.
+
+        The bucketed estimate answers with the upper bound of the first
+        bucket whose cumulative count reaches the requested rank — a
+        conservative (never optimistic) latency figure.
+        """
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            if self._samples is not None:
+                return percentile(sorted(self._samples), fraction)
+            rank = max(1, math.ceil(fraction * self._count))
+            seen = 0
+            for i, n in enumerate(self._counts):
+                seen += n
+                if seen >= rank:
+                    return self.bounds[i] if i < len(self.bounds) else math.inf
+            return math.inf  # pragma: no cover - ranks never exceed count
+
+    def bucket_counts(self) -> tuple[tuple[float, int], ...]:
+        """Cumulative ``(upper_bound, count)`` pairs, +Inf last."""
+        with self._lock:
+            out: list[tuple[float, int]] = []
+            seen = 0
+            for bound, n in zip((*self.bounds, math.inf), self._counts):
+                seen += n
+                out.append((bound, seen))
+            return tuple(out)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.bounds) + 1)
+            self._sum = 0.0
+            self._count = 0
+            self._samples = []
+
+    def state(self) -> dict[str, Any]:
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p99": self.percentile(0.99),
+        }
+
+
+class _Family:
+    """A named metric with a label schema and one child per label tuple."""
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...]) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._children: dict[tuple[str, ...], Any] = {}
+        self._lock = threading.Lock()
+
+    # Subclasses build the right child type.
+    def _new_child(self) -> Any:
+        raise NotImplementedError
+
+    def labels(self, *values: object, **kwargs: object) -> Any:
+        """The child for one label-value tuple, created on first use."""
+        if kwargs:
+            if values:
+                raise ConfigurationError("pass labels positionally or by name, not both")
+            try:
+                values = tuple(kwargs[name] for name in self.labelnames)
+            except KeyError as missing:
+                raise ConfigurationError(
+                    f"metric {self.name}: missing label {missing}"
+                ) from None
+            if len(kwargs) != len(self.labelnames):
+                raise ConfigurationError(
+                    f"metric {self.name}: unexpected labels "
+                    f"{sorted(set(kwargs) - set(self.labelnames))}"
+                )
+        if len(values) != len(self.labelnames):
+            raise ConfigurationError(
+                f"metric {self.name} takes labels {self.labelnames}, got {values!r}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)  # lock-free fast path (GIL-safe)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._new_child())
+        return child
+
+    def _default(self) -> Any:
+        return self.labels()
+
+    def children(self) -> Iterator[tuple[tuple[str, ...], Any]]:
+        with self._lock:
+            return iter(sorted(self._children.items()))
+
+    def reset(self) -> None:
+        with self._lock:
+            for child in self._children.values():
+                child.reset()
+
+
+class CounterFamily(_Family):
+    kind = "counter"
+
+    def _new_child(self) -> Counter:
+        return Counter()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+
+class GaugeFamily(_Family):
+    kind = "gauge"
+
+    def _new_child(self) -> Gauge:
+        return Gauge()
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default().value
+
+
+class HistogramFamily(_Family):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        buckets: Sequence[float] | None = None,
+        sample_cap: int | None = None,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self.sample_cap = sample_cap
+
+    def _new_child(self) -> Histogram:
+        return Histogram(buckets=self.buckets, sample_cap=self.sample_cap)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+    def time(self) -> _Timer:
+        return _Timer(self)
+
+
+class MetricsRegistry:
+    """Process-wide collection of metric families.
+
+    ``counter`` / ``gauge`` / ``histogram`` are idempotent declarators:
+    the first call registers the family, later calls with a matching
+    schema return it, and a kind or label-schema mismatch raises —
+    catching two modules fighting over one name at import time.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    def _declare(self, family_cls: type, name: str, help: str,
+                 labelnames: Sequence[str], **kwargs: Any) -> Any:
+        if not _NAME_RE.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        names = tuple(labelnames)
+        for label in names:
+            if not _LABEL_RE.match(label):
+                raise ConfigurationError(f"invalid label name {label!r}")
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if type(existing) is not family_cls or existing.labelnames != names:
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.labelnames}"
+                    )
+                return existing
+            family = family_cls(name, help, names, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> CounterFamily:
+        return self._declare(CounterFamily, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> GaugeFamily:
+        return self._declare(GaugeFamily, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] | None = None,
+                  sample_cap: int | None = None) -> HistogramFamily:
+        return self._declare(
+            HistogramFamily, name, help, labelnames,
+            buckets=buckets, sample_cap=sample_cap,
+        )
+
+    def families(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._families))
+
+    def get(self, name: str) -> _Family | None:
+        return self._families.get(name)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def expose(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        with self._lock:
+            families = sorted(self._families.items())
+        for name, family in families:
+            if family.help:
+                lines.append(f"# HELP {name} {family.help}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for labelvalues, child in family.children():
+                suffix = _label_suffix(family.labelnames, labelvalues)
+                if family.kind == "histogram":
+                    for bound, cumulative in child.bucket_counts():
+                        le = _label_suffix(
+                            (*family.labelnames, "le"),
+                            (*labelvalues, _fmt(bound)),
+                        )
+                        lines.append(f"{name}_bucket{le} {cumulative}")
+                    lines.append(f"{name}_sum{suffix} {_fmt(child.sum)}")
+                    lines.append(f"{name}_count{suffix} {child.count}")
+                else:
+                    lines.append(f"{name}{suffix} {_fmt(child.value)}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view: family -> {label tuple (joined) -> state}."""
+        out: dict[str, Any] = {}
+        with self._lock:
+            families = sorted(self._families.items())
+        for name, family in families:
+            children = {
+                ",".join(labelvalues) if labelvalues else "": child.state()
+                for labelvalues, child in family.children()
+            }
+            out[name] = {
+                "kind": family.kind,
+                "labelnames": list(family.labelnames),
+                "values": children,
+            }
+        return out
+
+    def reset(self) -> None:
+        """Zero every child's state; registrations are kept."""
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            family.reset()
+
+
+#: The process-wide default registry all built-in instrumentation uses.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return REGISTRY
+
+
+def parse_exposition(text: str) -> dict[str, dict[str, Any]]:
+    """Parse Prometheus text back into ``{family: {kind, samples}}``.
+
+    Small structural parser for the smoke test and unit tests: sample
+    lines become ``(name_with_suffix, labels_string, value)`` triples
+    grouped under their ``# TYPE`` family.  Raises on lines that fit
+    neither the comment nor the sample grammar.
+    """
+    families: dict[str, dict[str, Any]] = {}
+
+    def family_of(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+            if base and families.get(base, {}).get("kind") == "histogram":
+                return base
+        return sample_name
+
+    sample_re = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            families[name] = {"kind": kind, "help": families.get(name, {}).get("help", ""), "samples": []}
+            continue
+        if line.startswith("# HELP "):
+            _, _, name, help_text = line.split(" ", 3)
+            families.setdefault(name, {"kind": None, "samples": []})["help"] = help_text
+            continue
+        if line.startswith("#"):
+            continue
+        match = sample_re.match(line)
+        if match is None:
+            raise ConfigurationError(f"unparseable exposition line: {line!r}")
+        sample_name, labels, raw = match.groups()
+        value = math.inf if raw == "+Inf" else float(raw)
+        family = family_of(sample_name)
+        families.setdefault(family, {"kind": None, "samples": []})["samples"].append(
+            (sample_name, labels or "", value)
+        )
+    return families

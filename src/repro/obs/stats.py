@@ -1,0 +1,20 @@
+"""Shared sample statistics for benches, loadgen, and histograms."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample.
+
+    The single definition shared by the serving load generator (p50/p99
+    latency in ``BENCH_serve.json``) and :class:`repro.obs.Histogram`'s
+    exact small-sample percentiles.  Empty input yields ``0.0``; the
+    rank is clamped into the sample, so ``fraction`` outside [0, 1] is
+    tolerated rather than raising.
+    """
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]

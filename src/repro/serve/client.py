@@ -136,6 +136,10 @@ class ServeClient:
     def cache_stats(self) -> dict[str, Any]:
         return self.request("cache-stats")
 
+    def metrics(self) -> dict[str, Any]:
+        """Prometheus text exposition: ``{"text": ..., "families": [...]}``."""
+        return self.request("metrics")
+
     def checkpoint(self) -> dict[str, Any]:
         return self.request("checkpoint")
 

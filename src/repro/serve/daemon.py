@@ -35,8 +35,11 @@ import threading
 from pathlib import Path
 from typing import Any, TextIO
 
+from time import perf_counter
+
 from repro.core.solver import PARSolver
 from repro.errors import ConfigurationError, ReproError
+from repro.obs.metrics import REGISTRY as _REGISTRY
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
@@ -48,6 +51,30 @@ from repro.serve.protocol import (
     parse_request,
 )
 from repro.serve.state import RackHost, ServeState
+
+_REQUEST_SECONDS = _REGISTRY.histogram(
+    "repro_serve_request_seconds",
+    "Request latency by protocol verb (parse + dispatch)",
+    labelnames=("op",),
+)
+_REQUESTS_TOTAL = _REGISTRY.counter(
+    "repro_serve_requests_total",
+    "Requests by protocol verb and outcome",
+    labelnames=("op", "status"),
+)
+_COALESCED_TOTAL = _REGISTRY.counter(
+    "repro_serve_coalesced_total",
+    "Queries answered by awaiting an in-flight duplicate",
+    labelnames=("op",),
+)
+_CHECKPOINT_SECONDS = _REGISTRY.histogram(
+    "repro_serve_checkpoint_seconds", "Fleet checkpoint wall time"
+)
+# Registered by repro.core.solver (imported above); re-declared here to
+# hold a direct reference for the cache-stats obs view.
+_SOLVER_CACHE_LOOKUPS = _REGISTRY.counter(
+    "repro_solver_cache_lookups_total", "Solve-cache lookups", labelnames=("result",)
+)
 
 
 class AllocationDaemon:
@@ -62,6 +89,11 @@ class AllocationDaemon:
         is published as :attr:`port` once started).
     audit_log:
         Optional JSONL event-stream path (appended, one event per line).
+    metrics_interval_s:
+        When set, a ``{"event": "metrics", "snapshot": ...}`` line is
+        appended to the audit stream every interval (plus once at
+        shutdown) — the always-on dump for deployments nobody scrapes.
+        Requires ``audit_log``.
     """
 
     def __init__(
@@ -70,10 +102,21 @@ class AllocationDaemon:
         host: str = "127.0.0.1",
         port: int = 0,
         audit_log: str | Path | None = None,
+        metrics_interval_s: float | None = None,
     ) -> None:
+        if metrics_interval_s is not None:
+            if metrics_interval_s <= 0:
+                raise ConfigurationError("metrics interval must be positive")
+            if audit_log is None:
+                raise ConfigurationError(
+                    "metrics_interval_s dumps to the audit stream; "
+                    "pass audit_log too"
+                )
         self.state = state
         self.host = host
         self.port = port
+        self.metrics_interval_s = metrics_interval_s
+        self._metrics_task: asyncio.Task | None = None
         self.audit_path = None if audit_log is None else Path(audit_log)
         self.counters: dict[str, int] = {
             "requests": 0,
@@ -112,6 +155,8 @@ class AllocationDaemon:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._audit({"event": "serve-start", "racks": self.state.rack_names()})
+        if self.metrics_interval_s is not None:
+            self._metrics_task = self._loop.create_task(self._metrics_loop())
         self._started.set()
 
     def request_shutdown(self) -> None:
@@ -143,20 +188,28 @@ class AllocationDaemon:
         assert self._server is not None
         self._server.close()
         await self._server.wait_closed()
+        if self._metrics_task is not None:
+            self._metrics_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._metrics_task
+            self._metrics_task = None
         # Taking every rack lock guarantees no epoch or solve is mid-air
         # when the final checkpoint is cut.
         for lock in self._locks.values():
             await lock.acquire()
         try:
             if self.state.checkpoint_dir is not None:
-                path = await asyncio.get_running_loop().run_in_executor(
-                    None, self.state.checkpoint
-                )
+                with _CHECKPOINT_SECONDS.time():
+                    path = await asyncio.get_running_loop().run_in_executor(
+                        None, self.state.checkpoint
+                    )
                 self.counters["checkpoints"] += 1
                 self._audit({"event": "checkpoint", "path": str(path), "final": True})
         finally:
             for lock in self._locks.values():
                 lock.release()
+        if self.metrics_interval_s is not None:
+            self._audit({"event": "metrics", "snapshot": _REGISTRY.snapshot()})
         self._audit({"event": "serve-stop", "counters": dict(self.counters)})
         if self._audit_file is not None:
             self._audit_file.close()
@@ -220,19 +273,27 @@ class AllocationDaemon:
     async def _respond(self, line: bytes) -> dict[str, Any]:
         request_id: Any = None
         self.counters["requests"] += 1
+        op = "invalid"  # until the line parses into a known verb
+        start = perf_counter()
         try:
             message = decode_message(line)
             request_id = message.get("id")
             request = parse_request(message)
-            self.op_counts[request.op] = self.op_counts.get(request.op, 0) + 1
+            op = request.op
+            self.op_counts[op] = self.op_counts.get(op, 0) + 1
             result = await self._dispatch(request)
+            _REQUESTS_TOTAL.labels(op, "ok").inc()
             return ok_response(request_id, result)
         except ReproError as exc:
             self.counters["errors"] += 1
+            _REQUESTS_TOTAL.labels(op, "error").inc()
             return error_response(request_id, str(exc), type(exc).__name__)
         except Exception as exc:  # noqa: BLE001 - daemon must not die on a bad request
             self.counters["errors"] += 1
+            _REQUESTS_TOTAL.labels(op, "error").inc()
             return error_response(request_id, str(exc), type(exc).__name__)
+        finally:
+            _REQUEST_SECONDS.labels(op).observe(perf_counter() - start)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -247,6 +308,11 @@ class AllocationDaemon:
             return self._status()
         if op == "cache-stats":
             return self._cache_stats()
+        if op == "metrics":
+            return {
+                "text": _REGISTRY.expose(),
+                "families": list(_REGISTRY.families()),
+            }
         if op == "allocate":
             return await self._allocate(request)
         if op == "forecast":
@@ -297,6 +363,7 @@ class AllocationDaemon:
         inflight = self._inflight.get(key)
         if inflight is not None:
             self.counters["coalesced"] += 1
+            _COALESCED_TOTAL.labels("allocate").inc()
             return await asyncio.shield(inflight)
 
         assert self._loop is not None
@@ -386,6 +453,7 @@ class AllocationDaemon:
         inflight = self._inflight.get(key)
         if inflight is not None:
             self.counters["coalesced"] += 1
+            _COALESCED_TOTAL.labels("plan").inc()
             return await asyncio.shield(inflight)
 
         assert self._loop is not None
@@ -416,7 +484,8 @@ class AllocationDaemon:
         async with contextlib.AsyncExitStack() as stack:
             for name in sorted(self._locks):
                 await stack.enter_async_context(self._locks[name])
-            path = await self._loop.run_in_executor(None, self.state.checkpoint)
+            with _CHECKPOINT_SECONDS.time():
+                path = await self._loop.run_in_executor(None, self.state.checkpoint)
         self.counters["checkpoints"] += 1
         self._audit({"event": "checkpoint", "path": str(path), "final": False})
         return {"checkpoint_dir": str(path)}
@@ -434,11 +503,25 @@ class AllocationDaemon:
             **self.state.cache_stats(),
             "coalesced": self.counters["coalesced"],
             "requests": self.counters["requests"],
+            # Process-wide obs counters: one atomic view across every
+            # rack's solver, so delta-based hit ratios can't be skewed
+            # by racing the per-rack reads (see loadgen).
+            "obs": {
+                "solver_cache_hits": _SOLVER_CACHE_LOOKUPS.labels("hit").value,
+                "solver_cache_misses": _SOLVER_CACHE_LOOKUPS.labels("miss").value,
+            },
         }
 
     # ------------------------------------------------------------------
     # Audit stream
     # ------------------------------------------------------------------
+    async def _metrics_loop(self) -> None:
+        """Periodic metrics snapshots into the audit stream."""
+        assert self.metrics_interval_s is not None
+        while True:
+            await asyncio.sleep(self.metrics_interval_s)
+            self._audit({"event": "metrics", "snapshot": _REGISTRY.snapshot()})
+
     def _audit(self, event: dict[str, Any]) -> None:
         if self._audit_file is None:
             return

@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ConfigurationError
+from repro.obs.stats import percentile as _percentile
 from repro.serve.client import ServeClient, ServeError
 
 #: Relative weight of each op in the generated stream.
@@ -38,14 +39,6 @@ DEFAULT_OP_MIX: tuple[tuple[str, int], ...] = (
 BUDGET_FRACTIONS: tuple[float, ...] = (0.6, 0.8, 1.0, 1.2)
 
 
-def _percentile(sorted_values: list[float], fraction: float) -> float:
-    """Nearest-rank percentile of an already-sorted sample."""
-    if not sorted_values:
-        return 0.0
-    rank = min(len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1))))
-    return sorted_values[rank]
-
-
 def solver_cache_hit_ratio(
     before: dict[str, Any], after: dict[str, Any]
 ) -> float | None:
@@ -55,9 +48,21 @@ def solver_cache_hit_ratio(
     from earlier traffic don't flatter the measurement.  ``None`` when
     the burst triggered no solver lookups at all (e.g. an op mix with no
     ``allocate``).
+
+    The preferred source is the daemon's process-wide obs counter
+    snapshot (``stats["obs"]``): one atomic read covering every rack's
+    solver, immune to per-rack read races while coalesced requests are
+    in flight.  Snapshots from older daemons without the obs block fall
+    back to summing the per-rack ``solver_cache`` counters.
     """
 
     def totals(stats: dict[str, Any]) -> tuple[int, int]:
+        obs = stats.get("obs")
+        if obs is not None:
+            return (
+                int(obs.get("solver_cache_hits", 0)),
+                int(obs.get("solver_cache_misses", 0)),
+            )
         hits = misses = 0
         for info in stats.get("racks", {}).values():
             cache = info.get("solver_cache")

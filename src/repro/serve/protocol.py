@@ -32,6 +32,7 @@ OPS = frozenset(
         "cache-stats",
         "checkpoint",
         "forecast",
+        "metrics",
         "observe",
         "ping",
         "plan",

@@ -41,9 +41,28 @@ from typing import Any, Sequence
 from repro.core.predictor import HoltPredictor
 from repro.core.solver import GroupModel, PARSolver
 from repro.errors import ConfigurationError, SolverError
+from repro.obs.metrics import REGISTRY as _REGISTRY
 from repro.shift.queue import JobQueue, ShiftJob
 
 _EPS = 1e-9
+
+_PLAN_SECONDS = _REGISTRY.histogram(
+    "repro_shift_plan_seconds", "ShiftPlanner.plan wall time"
+)
+_PLANS_TOTAL = _REGISTRY.counter(
+    "repro_shift_plans_total",
+    "Plans by search strategy (greedy = fallback past the exhaustive limit)",
+    labelnames=("method",),
+)
+_CANDIDATES_TOTAL = _REGISTRY.counter(
+    "repro_shift_candidates_total", "Candidate (job, offset) placements evaluated"
+)
+_PLACEMENTS_TOTAL = _REGISTRY.counter(
+    "repro_shift_placements_total", "Jobs placed into plan windows"
+)
+_UNPLACED_TOTAL = _REGISTRY.counter(
+    "repro_shift_unplaced_total", "Jobs left unplaced by a plan"
+)
 
 
 def chain_forecast(predictor: Any, horizon: int) -> tuple[float, ...]:
@@ -411,6 +430,16 @@ class ShiftPlanner:
     # ------------------------------------------------------------------
     def plan(self, queue: JobQueue, inputs: PlanInputs) -> ShiftPlan:
         """Produce the plan for this epoch.  The queue is not mutated."""
+        with _PLAN_SECONDS.time():
+            result = self._plan_impl(queue, inputs)
+        _PLANS_TOTAL.labels(result.method).inc()
+        if result.placements:
+            _PLACEMENTS_TOTAL.inc(len(result.placements))
+        if result.unplaced:
+            _UNPLACED_TOTAL.inc(len(result.unplaced))
+        return result
+
+    def _plan_impl(self, queue: JobQueue, inputs: PlanInputs) -> ShiftPlan:
         self._perf_cache.clear()
         pending = queue.pending()
         span = self.horizon + max(
@@ -519,6 +548,7 @@ class ShiftPlanner:
         inputs: PlanInputs,
         state: _SupplyState,
     ) -> _Candidate | None:
+        _CANDIDATES_TOTAL.inc()
         n = job.n_epochs(inputs.epoch_s)
         split = state.price(job.power_w, offset, n)
         if split is None:

@@ -27,6 +27,7 @@ from repro.core.monitor import Monitor
 from repro.core.policies import Policy
 from repro.core.scheduler import AdaptiveScheduler
 from repro.errors import ConfigurationError
+from repro.obs.metrics import REGISTRY as _REGISTRY
 from repro.power.battery import BatteryBank
 from repro.power.grid import GridSource
 from repro.power.pdu import PDU
@@ -41,6 +42,10 @@ from repro.traces.datacenter_load import DiurnalLoadPattern
 from repro.traces.nrel import IrradianceTrace, Weather, synthesize_irradiance
 from repro.workloads.generator import LoadGenerator
 from repro.workloads.models import response_for
+
+_EPOCH_SECONDS_HIST = _REGISTRY.histogram(
+    "repro_sim_epoch_seconds", "Wall time of one Simulation.step epoch"
+)
 
 
 @dataclass
@@ -283,16 +288,17 @@ class Simulation:
         """
         if len(self.log) >= self.clock.n_epochs:
             raise ConfigurationError("simulation already complete")
-        t = self.clock.start_s + len(self.log) * self.clock.epoch_s
-        if self.faults is not None:
-            self.faults.apply(self.controller, t)
-        self._apply_schedule(t)
-        load = self.load_generator.at(t)
-        if self.shift is not None:
-            record = self.shift.execute_epoch(
-                self.controller, t, load_fraction=load.fraction
-            )
-        else:
-            record = self.controller.run_epoch(t, load_fraction=load.fraction)
-        self.log.append(record)
+        with _EPOCH_SECONDS_HIST.time():
+            t = self.clock.start_s + len(self.log) * self.clock.epoch_s
+            if self.faults is not None:
+                self.faults.apply(self.controller, t)
+            self._apply_schedule(t)
+            load = self.load_generator.at(t)
+            if self.shift is not None:
+                record = self.shift.execute_epoch(
+                    self.controller, t, load_fraction=load.fraction
+                )
+            else:
+                record = self.controller.run_epoch(t, load_fraction=load.fraction)
+            self.log.append(record)
         return record

@@ -57,3 +57,72 @@ class TestSummarize:
     def test_empty_rejected(self):
         with pytest.raises(ConfigurationError):
             summarize_gains({})
+
+
+def epoch_record(t=0.0, g2l=0.0):
+    from repro.core.controller import EpochRecord
+    from repro.core.sources import PowerCase
+    from repro.power.sources import ChargeSource
+
+    return EpochRecord(
+        time_s=t, case=PowerCase.A, budget_w=1000.0, demand_w=1000.0,
+        renewable_w=500.0, load_fraction=1.0, ratios=(0.6, 0.4),
+        group_budgets_w=(600.0, 400.0), state_indices=(5, 5),
+        throughput=100.0, epu=0.9, useful_power_w=900.0,
+        renewable_to_load_w=1000.0 - g2l, battery_to_load_w=0.0,
+        grid_to_load_w=g2l, charge_w=0.0, charge_source=ChargeSource.NONE,
+        battery_soc_wh=12000.0, curtailed_w=0.0, trained_pairs=(),
+        brownout=False,
+    )
+
+
+class TestShiftComparisonEdgeCases:
+    """Zero-grid baselines must not divide by zero (all-renewable runs)."""
+
+    def make_log(self, g2l):
+        from repro.sim.telemetry import TelemetryLog
+
+        log = TelemetryLog()
+        log.append(epoch_record(t=0.0, g2l=g2l))
+        log.append(epoch_record(t=900.0, g2l=g2l))
+        return log
+
+    def test_zero_baseline_grid_energy(self):
+        from repro.analysis.metrics import shift_comparison
+
+        out = shift_comparison(
+            self.make_log(0.0), self.make_log(0.0), epoch_s=900.0,
+            shift_jobs={}, no_shift_jobs={},
+        )
+        assert out["grid_kwh"]["no_shift"] == 0.0
+        assert out["grid_kwh"]["saved_fraction"] == 0.0
+
+    def test_zero_jobs_miss_rate(self):
+        from repro.analysis.metrics import shift_comparison
+
+        out = shift_comparison(
+            self.make_log(100.0), self.make_log(200.0), epoch_s=900.0,
+            shift_jobs={}, no_shift_jobs={},
+        )
+        assert out["miss_rate"] == {"shift": 0.0, "no_shift": 0.0}
+        assert out["grid_kwh"]["saved_fraction"] == pytest.approx(0.5)
+
+    def test_mismatched_timelines_rejected(self):
+        from repro.analysis.metrics import shift_comparison
+        from repro.sim.telemetry import TelemetryLog
+
+        short = TelemetryLog()
+        short.append(epoch_record(t=0.0))
+        with pytest.raises(ConfigurationError, match="identical timelines"):
+            shift_comparison(
+                self.make_log(0.0), short, epoch_s=900.0,
+                shift_jobs={}, no_shift_jobs={},
+            )
+
+
+class TestProjectionErrorEdgeCases:
+    def test_too_few_points_rejected(self):
+        from repro.analysis.metrics import projection_error
+
+        with pytest.raises(ConfigurationError, match="at least 2"):
+            projection_error(None, None, n_points=1)

@@ -1,0 +1,126 @@
+"""The daemon's observability surface: metrics verb, obs cache block,
+periodic metrics snapshots."""
+
+import json
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import parse_exposition
+from repro.serve.client import ServeClient
+from repro.serve.daemon import AllocationDaemon
+from repro.serve.state import ServeConfig, ServeState
+
+SMALL = ServeConfig(platforms=(("E5-2620", 2), ("i5-4460", 2)), n_racks=1)
+
+
+@pytest.fixture
+def served(tmp_path):
+    state = ServeState.build(SMALL)
+    daemon = AllocationDaemon(
+        state, port=0,
+        audit_log=tmp_path / "audit.jsonl",
+        metrics_interval_s=0.1,
+    )
+    thread = daemon.run_in_thread()
+    yield daemon, tmp_path / "audit.jsonl"
+    daemon.stop_from_thread()
+    thread.join(timeout=30)
+    assert not thread.is_alive()
+
+
+@pytest.fixture
+def client(served):
+    daemon, _ = served
+    with ServeClient(port=daemon.port) as c:
+        yield c
+
+
+class TestMetricsVerb:
+    def test_returns_parseable_exposition(self, client):
+        client.allocate("rack0", budget_w=400.0)
+        scrape = client.metrics()
+        families = parse_exposition(scrape["text"])
+        assert "repro_serve_request_seconds" in families
+        assert "repro_serve_requests_total" in families
+        assert "repro_solver_solve_seconds" in families
+        assert set(families) <= set(scrape["families"])
+
+    def test_request_counters_grow(self, client):
+        def ping_count():
+            families = parse_exposition(client.metrics()["text"])
+            return sum(
+                value
+                for name, labels, value in
+                families["repro_serve_requests_total"]["samples"]
+                if 'op="ping"' in labels and 'status="ok"' in labels
+            )
+        client.ping()
+        first = ping_count()
+        client.ping()
+        assert ping_count() == first + 1
+
+    def test_error_responses_counted(self, client):
+        families_before = parse_exposition(client.metrics()["text"])
+
+        def errors(families):
+            return sum(
+                value
+                for name, labels, value in
+                families.get("repro_serve_requests_total", {"samples": []})["samples"]
+                if 'status="error"' in labels
+            )
+        with pytest.raises(Exception):
+            client.allocate("rack9")
+        families_after = parse_exposition(client.metrics()["text"])
+        assert errors(families_after) == errors(families_before) + 1
+
+
+class TestCacheStatsObsBlock:
+    def test_obs_totals_match_per_rack_counters(self, client):
+        client.allocate("rack0", budget_w=400.0)
+        client.allocate("rack0", budget_w=400.0)
+        stats = client.cache_stats()
+        assert "obs" in stats
+        obs = stats["obs"]
+        # Process-wide counters can only be >= this daemon's rack sums.
+        rack_hits = sum(
+            info["solver_cache"]["hits"] for info in stats["racks"].values()
+        )
+        assert obs["solver_cache_hits"] >= rack_hits
+        assert obs["solver_cache_misses"] >= 0
+
+
+class TestMetricsInterval:
+    def test_periodic_snapshots_written(self, served, client):
+        _, audit = served
+        client.ping()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            events = [
+                json.loads(line)
+                for line in audit.read_text().splitlines()
+                if '"metrics"' in line
+            ] if audit.exists() else []
+            metrics_events = [e for e in events if e.get("event") == "metrics"]
+            if metrics_events:
+                break
+            time.sleep(0.05)
+        assert metrics_events, "no periodic metrics snapshot within 10 s"
+        snapshot = metrics_events[-1]["snapshot"]
+        assert "repro_serve_requests_total" in snapshot
+
+    def test_interval_requires_audit_log(self):
+        state = ServeState.build(SMALL)
+        with pytest.raises(ConfigurationError, match="audit"):
+            AllocationDaemon(state, port=0, metrics_interval_s=1.0)
+
+    def test_interval_must_be_positive(self, tmp_path):
+        state = ServeState.build(SMALL)
+        with pytest.raises(ConfigurationError):
+            AllocationDaemon(
+                state, port=0,
+                audit_log=tmp_path / "a.jsonl",
+                metrics_interval_s=0.0,
+            )
