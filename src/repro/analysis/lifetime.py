@@ -78,6 +78,11 @@ def project_lifetime(
         raise ConfigurationError("observed duration must be positive")
     if unit_price_usd <= 0 or units <= 0:
         raise ConfigurationError("price and unit count must be positive")
+    if battery.is_unlimited:
+        raise ConfigurationError(
+            "cannot project lifetime for an UnlimitedSupply sentinel: it "
+            "never cycles, so wear numbers would be meaningless"
+        )
 
     cycles_per_day = battery.equivalent_cycles / observed_days
     if cycles_per_day <= 0:

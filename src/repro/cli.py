@@ -20,6 +20,11 @@ Five subcommands cover the workflows a user of the paper's system needs:
 ``repro trace``
     Synthesize a High/Low NREL-style irradiance trace to CSV.
 
+``repro verify``
+    Run the correctness harness (:mod:`repro.verify`): strict-audit
+    reference simulations, the differential solver corpus, and the
+    checkpoint round-trip fuzzer.
+
 ``repro serve``
     Run the control-plane daemon: rack controllers behind a streaming
     NDJSON-over-TCP allocation API, with checkpoint/restore.
@@ -81,6 +86,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         policies=tuple(args.policies),
         seed=args.seed,
         faults=tuple(args.fault),
+        strict=args.strict,
     )
     result = run_experiment(config, jobs=args.jobs)
     baseline = "Uniform" if "Uniform" in config.policies else config.policies[0]
@@ -131,6 +137,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             policies=tuple(args.policies),
             seed=args.seed,
             faults=tuple(args.fault),
+            strict=args.strict,
         )
         for workload in args.workloads
     ]
@@ -394,6 +401,29 @@ def cmd_shift(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_verify(args: argparse.Namespace) -> int:
+    # Lazy: reference reaches into the engine, which imports repro.verify.
+    from repro.verify import fuzz_round_trips, run_differential, run_strict_reference
+
+    ok = True
+
+    results = run_strict_reference(n_epochs=args.epochs, seed=args.seed)
+    for result in results:
+        print(result.summary())
+        ok = ok and result.passed
+
+    diff = run_differential(n_cases=args.cases, seed=args.seed)
+    print(diff.summary())
+    ok = ok and diff.passed
+
+    fuzz = fuzz_round_trips(n_cases=args.fuzz_cases, seed=args.seed)
+    print(fuzz.summary())
+    ok = ok and fuzz.passed
+
+    print("verify: PASS" if ok else "verify: FAIL")
+    return 0 if ok else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     trace = synthesize_irradiance(
         days=args.days, weather=_weather(args.weather), seed=args.seed
@@ -441,6 +471,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--fault", action="append", default=[], metavar="SPEC",
             help="inject a supply fault, e.g. 'renewable:0.0:28800:36000' "
             "(kind:scale:start_s:end_s); repeatable",
+        )
+        p.add_argument(
+            "--strict", action="store_true",
+            help="audit every epoch's physics invariants and abort on "
+            "the first violation (see `repro verify`)",
         )
 
     run_p = sub.add_parser("run", help="trace-driven experiment (Fig. 8/11 methodology)")
@@ -586,6 +621,26 @@ def build_parser() -> argparse.ArgumentParser:
     shift_p.add_argument("--out", metavar="FILE",
                          help="write the benchmark record as JSON")
     shift_p.set_defaults(func=cmd_shift)
+
+    verify_p = sub.add_parser(
+        "verify",
+        help="run the correctness harness: strict-audit reference sims, "
+        "the differential solver corpus, and checkpoint round-trip fuzzing",
+    )
+    verify_p.add_argument(
+        "--cases", type=int, default=200,
+        help="randomized solver programs in the differential corpus",
+    )
+    verify_p.add_argument(
+        "--fuzz-cases", type=int, default=50,
+        help="iterations of the checkpoint round-trip fuzzer",
+    )
+    verify_p.add_argument(
+        "--epochs", type=int, default=16,
+        help="length of each strict-audit reference simulation",
+    )
+    verify_p.add_argument("--seed", type=int, default=0)
+    verify_p.set_defaults(func=cmd_verify)
 
     trace_p = sub.add_parser("trace", help="synthesize an irradiance trace to CSV")
     trace_p.add_argument("--weather", choices=("high", "low"), default="high")

@@ -67,6 +67,12 @@ _CACHE_LOOKUPS = _REGISTRY.counter(
 )
 _CACHE_HIT = _CACHE_LOOKUPS.labels("hit")
 _CACHE_MISS = _CACHE_LOOKUPS.labels("miss")
+_CACHE_STALE = _CACHE_LOOKUPS.labels("stale")
+
+#: Feasibility slack shared by every mechanism: a solution may exceed the
+#: budget by at most this many watts (floating-point headroom, far below
+#: meter noise).
+FEASIBILITY_SLACK_W = 1e-6
 
 
 @dataclass(frozen=True)
@@ -175,6 +181,7 @@ class PARSolver:
         self.cache_size = cache_size
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_stale_hits = 0
         self._cache: dict[tuple, PARSolution] = {}
 
     def _lo(self, fit: PerfPowerFit) -> float:
@@ -215,10 +222,22 @@ class PARSolver:
             key = self._cache_key(groups, total_power_w)
             cached = self._cache.get(key)
             if cached is not None:
-                self.cache_hits += 1
-                _CACHE_HIT.inc()
-                _SOLVES_TOTAL.labels("cached").inc()
-                return cached
+                if self._feasible_for(cached, groups, total_power_w):
+                    self.cache_hits += 1
+                    _CACHE_HIT.inc()
+                    _SOLVES_TOTAL.labels("cached").inc()
+                    return cached
+                # Stale hit: the quantized key collided with a solve done
+                # under a (slightly) larger budget, so replaying the cached
+                # allocation would overdraw this one.  Re-solve at the
+                # exact budget and overwrite the entry — the replacement is
+                # feasible for this and any larger budget in the quantum.
+                self.cache_stale_hits += 1
+                _CACHE_STALE.inc()
+                solution = self._solve_impl(groups, total_power_w)
+                _SOLVES_TOTAL.labels(solution.method).inc()
+                self._cache[key] = solution
+                return solution
             self.cache_misses += 1
             _CACHE_MISS.inc()
             solution = self._solve_impl(groups, total_power_w)
@@ -231,6 +250,86 @@ class PARSolver:
             return solution
         finally:
             _SOLVE_SECONDS.observe(perf_counter() - start)
+
+    #: Mechanisms :meth:`solve_via` can force.
+    METHODS = ("kkt", "grid", "slsqp")
+
+    def solve_via(
+        self, groups: Sequence[GroupModel], total_power_w: float, method: str
+    ) -> PARSolution:
+        """Solve with exactly one mechanism — the differential-check API.
+
+        ``method`` is one of :data:`METHODS`: ``"kkt"`` runs only the
+        analytic KKT candidate enumeration, ``"grid"`` only the dense
+        simplex sweep, and ``"slsqp"`` forces the scipy path (one SLSQP
+        run per powered subset from a feasible interior start).  No
+        memoization, no cross-mechanism arbitration — so
+        :mod:`repro.verify.differential` can compare the mechanisms
+        against each other.
+
+        Raises
+        ------
+        SolverError
+            On invalid inputs or an unknown ``method``.
+        """
+        self._validate_inputs(groups, total_power_w)
+        if method not in self.METHODS:
+            raise SolverError(
+                f"unknown solve method {method!r}; expected one of {self.METHODS}"
+            )
+        k = len(groups)
+        zero = PARSolution((0.0,) * k, (0.0,) * k, 0.0, method)
+        if total_power_w == 0:
+            return zero
+
+        if method == "kkt":
+            best_p: tuple[float, ...] = (0.0,) * k
+            best_score = 0.0
+            for candidate in self._kkt_candidates(groups, total_power_w):
+                score = self._score(groups, candidate)
+                if score > best_score:
+                    best_p, best_score = candidate, score
+        elif method == "grid":
+            best_p, best_score = self._grid_best(groups, total_power_w)
+        else:
+            best_p, best_score = self._slsqp_best(groups, total_power_w)
+
+        if best_score <= 0.0:
+            return zero
+        return self._to_solution(
+            groups, tuple(best_p), best_score, method, total_power_w
+        )
+
+    def _slsqp_best(
+        self, groups: Sequence[GroupModel], budget_w: float
+    ) -> tuple[tuple[float, ...], float]:
+        """Best SLSQP result over all feasible powered subsets."""
+        k = len(groups)
+        best_p: tuple[float, ...] = (0.0,) * k
+        best_score = 0.0
+        for powered in itertools.product((False, True), repeat=k):
+            if not any(powered):
+                continue
+            on = [i for i in range(k) if powered[i]]
+            lo = {i: self._lo(groups[i].fit) for i in on}
+            min_total = sum(groups[i].count * lo[i] for i in on)
+            if min_total > budget_w + FEASIBILITY_SLACK_W:
+                continue
+            # Feasible interior start: walk each group halfway from its
+            # lower bound toward its plateau, scaled so the subset stays
+            # inside the budget.
+            span = {i: max(0.0, groups[i].fit.max_power_w - lo[i]) for i in on}
+            denom = sum(groups[i].count * span[i] for i in on)
+            t = 1.0 if denom <= 0 else min(1.0, (budget_w - min_total) / denom)
+            start = [0.0] * k
+            for i in on:
+                start[i] = lo[i] + 0.5 * t * span[i]
+            polished = self._polish(groups, budget_w, tuple(start))
+            if polished is not None:
+                p, score = polished
+                if score > best_score:
+                    best_p, best_score = p, score
+        return best_p, best_score
 
     # ------------------------------------------------------------------
     # Memoization
@@ -258,12 +357,34 @@ class PARSolver:
             round(total_power_w / self.CACHE_BUDGET_QUANTUM_W),
         )
 
+    @staticmethod
+    def _feasible_for(
+        solution: PARSolution, groups: Sequence[GroupModel], total_power_w: float
+    ) -> bool:
+        """Whether ``solution``'s allocation fits under ``total_power_w``.
+
+        The budget quantization of :meth:`_cache_key` means a cached
+        solution may have been produced under a budget up to half a
+        quantum larger than the one now posed; replaying it would then
+        allocate more than the rack is actually granted.  Validated with
+        the solver's own :data:`FEASIBILITY_SLACK_W`, so a fresh solve
+        (which is allowed that same slack) always validates.
+        """
+        counts = (
+            solution.powered_counts
+            if solution.powered_counts is not None
+            else tuple(g.count for g in groups)
+        )
+        total = sum(k * p for k, p in zip(counts, solution.per_server_w))
+        return total <= total_power_w + FEASIBILITY_SLACK_W
+
     def cache_info(self) -> dict[str, float]:
-        """Hit/miss counters and the current hit rate of the solve cache."""
-        total = self.cache_hits + self.cache_misses
+        """Hit/miss/stale counters and the current hit rate of the solve cache."""
+        total = self.cache_hits + self.cache_misses + self.cache_stale_hits
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
+            "stale_hits": self.cache_stale_hits,
             "size": len(self._cache),
             "hit_rate": self.cache_hits / total if total else 0.0,
         }
@@ -273,6 +394,7 @@ class PARSolver:
         self._cache.clear()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_stale_hits = 0
 
     def _solve_impl(
         self, groups: Sequence[GroupModel], total_power_w: float
@@ -418,7 +540,7 @@ class PARSolver:
                 v = min(max(v, lo), fit.max_power_w)
                 p[i] = v
                 total += groups[i].count * v
-            if total > budget_w + 1e-6:
+            if total > budget_w + FEASIBILITY_SLACK_W:
                 return None
             return tuple(p)
 
@@ -502,7 +624,7 @@ class PARSolver:
         ]
         counts = np.array([groups[i].count for i in on], dtype=float)
         x0 = np.array([min(max(start[i], b[0]), b[1]) for i, b in zip(on, bounds)])
-        if counts @ x0 > budget_w + 1e-6:
+        if counts @ x0 > budget_w + FEASIBILITY_SLACK_W:
             return None
 
         def negative_perf(x: np.ndarray) -> float:
@@ -522,7 +644,7 @@ class PARSolver:
         )
         if not result.success:
             return None
-        if float(counts @ result.x) > budget_w + 1e-6:
+        if float(counts @ result.x) > budget_w + FEASIBILITY_SLACK_W:
             return None
         p = [0.0] * len(groups)
         for i, xi in zip(on, result.x):

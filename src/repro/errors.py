@@ -74,3 +74,21 @@ class TraceError(ReproError):
 
 class SimulationError(ReproError):
     """The simulation engine reached an inconsistent state."""
+
+
+class VerificationError(ReproError):
+    """A correctness check (differential solve, round-trip fuzz) failed."""
+
+
+class InvariantViolation(VerificationError):
+    """A strict-mode invariant audit found the physics accounting broken.
+
+    Raised by :class:`repro.verify.InvariantAuditor` when a per-epoch
+    invariant (energy conservation, battery SoC consistency, grid
+    budget, Ση ≤ 1, fit bounds) does not hold within tolerance.
+    """
+
+    def __init__(self, violations) -> None:
+        self.violations = tuple(violations)
+        detail = "; ".join(f"{v.check}: {v.message}" for v in self.violations)
+        super().__init__(f"{len(self.violations)} invariant violation(s): {detail}")

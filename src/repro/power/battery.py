@@ -31,6 +31,10 @@ RATED_CYCLES_AT_DOD = 1300.0
 class BatteryBank:
     """A bank of identical lead-acid batteries with DoD and rate limits.
 
+    ``is_unlimited`` is False for every real bank; the
+    :class:`UnlimitedSupply` sentinel overrides it so telemetry and
+    lifetime analysis can recognise a pseudo-battery and skip it.
+
     Parameters
     ----------
     count:
@@ -45,7 +49,9 @@ class BatteryBank:
         Power limits; default to the C/5 and C/10 rates.
     initial_soc_fraction:
         Starting SoC as a fraction of full capacity (paper initialises
-        the battery "to its maximal state").
+        the battery "to its maximal state").  Starting below the DoD
+        floor is rejected: the controller may never discharge below the
+        floor, so such a bank could not have reached that state.
     peukert_exponent:
         Rate dependence of lead-acid capacity: discharging faster than
         the reference C/20 rate debits the stored energy by
@@ -53,6 +59,9 @@ class BatteryBank:
         (rate-independent) battery the paper's energy arithmetic
         assumes; real lead-acid banks measure k ~ 1.1-1.3.
     """
+
+    #: Real banks store finite energy; see :class:`UnlimitedSupply`.
+    is_unlimited = False
 
     def __init__(
         self,
@@ -95,7 +104,15 @@ class BatteryBank:
         self.peukert_exponent = peukert_exponent
 
         floor = (1.0 - depth_of_discharge) * self.capacity_wh
-        self.soc_wh = max(initial_soc_fraction * self.capacity_wh, floor)
+        initial_wh = initial_soc_fraction * self.capacity_wh
+        if initial_wh < floor - 1e-9 * self.capacity_wh:
+            raise BatteryError(
+                f"initial SoC {initial_soc_fraction:.0%} is below the DoD "
+                f"floor ({1.0 - depth_of_discharge:.0%} of capacity); the "
+                "controller may never discharge below the floor, so a bank "
+                "cannot start there either"
+            )
+        self.soc_wh = max(initial_wh, floor)
         self._discharged_wh_total = 0.0
         self._charged_wh_total = 0.0
 
@@ -220,3 +237,60 @@ class BatteryBank:
             f"BatteryBank(soc={self.soc_fraction:.1%} of {self.capacity_wh:.0f} Wh, "
             f"floor={self.floor_wh:.0f} Wh, cycles={self.equivalent_cycles:.2f})"
         )
+
+
+class UnlimitedSupply(BatteryBank):
+    """An inexhaustible pseudo-battery for the constrained-supply sweeps.
+
+    The Fig. 9/10/13/14 methodology needs scarcity to come *only* from
+    the per-epoch budget override: the grid is disabled and the battery
+    must never run dry.  Oversizing a real :class:`BatteryBank` (the old
+    ``count=1000`` trick) merely postpones the DoD floor — a long enough
+    horizon still hits it — and its discharge total pollutes the
+    equivalent-cycle and lifetime telemetry with nonsense wear numbers.
+
+    This sentinel delivers any requested power up to ``power_limit_w``
+    without ever changing state: SoC stays pinned at full, the cycle
+    counters stay at zero, and ``is_unlimited`` is True so consumers
+    (the invariant auditor, :func:`repro.analysis.lifetime.project_lifetime`)
+    can recognise and exclude it.  It reports itself full, so the PDU
+    curtails renewable surplus instead of "charging" it away.
+    """
+
+    is_unlimited = True
+
+    def __init__(self, power_limit_w: float = 1e9) -> None:
+        if power_limit_w <= 0:
+            raise BatteryError("power limit must be positive")
+        # Paper-default geometry keeps every planning query (usable_wh,
+        # resume thresholds) finite; the flow methods below pin the state.
+        super().__init__()
+        self.max_discharge_w = power_limit_w
+        self.max_charge_w = power_limit_w
+
+    def max_discharge_power_w(self, duration_s: float) -> float:
+        if duration_s <= 0:
+            raise BatteryError("duration must be positive")
+        return self.max_discharge_w
+
+    def max_charge_power_w(self, duration_s: float) -> float:
+        if duration_s <= 0:
+            raise BatteryError("duration must be positive")
+        return 0.0
+
+    def discharge(self, power_w: float, duration_s: float) -> float:
+        if power_w < 0:
+            raise BatteryError(f"discharge power must be non-negative, got {power_w}")
+        if duration_s <= 0:
+            raise BatteryError("duration must be positive")
+        return min(power_w, self.max_discharge_w)
+
+    def charge(self, power_w: float, duration_s: float) -> float:
+        if power_w < 0:
+            raise BatteryError(f"charge power must be non-negative, got {power_w}")
+        if duration_s <= 0:
+            raise BatteryError("duration must be positive")
+        return 0.0  # always "full": surplus is curtailed, not stored
+
+    def __repr__(self) -> str:
+        return f"UnlimitedSupply(limit={self.max_discharge_w:.0f} W)"

@@ -28,7 +28,7 @@ from repro.core.policies import Policy
 from repro.core.scheduler import AdaptiveScheduler
 from repro.errors import ConfigurationError
 from repro.obs.metrics import REGISTRY as _REGISTRY
-from repro.power.battery import BatteryBank
+from repro.power.battery import BatteryBank, UnlimitedSupply
 from repro.power.grid import GridSource
 from repro.power.pdu import PDU
 from repro.power.solar import SolarFarm
@@ -40,6 +40,7 @@ from repro.shift.runtime import ShiftRuntime
 from repro.sim.telemetry import TelemetryLog
 from repro.traces.datacenter_load import DiurnalLoadPattern
 from repro.traces.nrel import IrradianceTrace, Weather, synthesize_irradiance
+from repro.verify.auditor import AuditContext, InvariantAuditor
 from repro.workloads.generator import LoadGenerator
 from repro.workloads.models import response_for
 
@@ -75,6 +76,14 @@ class Simulation:
     #: offered-load generator consistently.
     diurnal_load: bool = True
     seed: int = 2021
+    #: When True, any invariant violation raises
+    #: :class:`~repro.errors.InvariantViolation` at the offending epoch;
+    #: otherwise violations only accumulate on :attr:`auditor` and in the
+    #: ``repro_verify_violations_total`` metric.
+    strict: bool = False
+    #: The per-epoch invariant auditor; built on first step when omitted
+    #: (pass one to customize the check suite).
+    auditor: "InvariantAuditor | None" = None
 
     @classmethod
     def assemble(
@@ -92,6 +101,7 @@ class Simulation:
         trace: IrradianceTrace | None = None,
         supply_fractions: tuple[float, ...] | None = None,
         budget_reference_w: float | None = None,
+        strict: bool = False,
     ) -> "Simulation":
         """Assemble the paper's standard experimental stack.
 
@@ -135,6 +145,10 @@ class Simulation:
             envelope reference makes the sweep workload-independent,
             like the paper's fixed testbed: power-hungry workloads are
             shorted deeply, light ones barely.
+        strict:
+            Raise :class:`~repro.errors.InvariantViolation` at the first
+            epoch whose physics accounting fails an invariant audit
+            (otherwise violations only count; see :mod:`repro.verify`).
         """
         if solar_scale <= 0:
             raise ConfigurationError("solar scale must be positive")
@@ -152,9 +166,11 @@ class Simulation:
                     "grid_budget_w would be silently discarded — drop them "
                     "or drop supply_fractions"
                 )
-            # Constrained-supply mode: an effectively unlimited battery
-            # and no grid — the override below is the only scarcity.
-            battery = BatteryBank(count=1000)
+            # Constrained-supply mode: a truly unlimited supply sentinel
+            # and no grid — the override below is the only scarcity.  A
+            # merely oversized BatteryBank would still hit its DoD floor
+            # on long horizons and pollute cycle/lifetime telemetry.
+            battery = UnlimitedSupply()
             grid = GridSource(budget_w=0.0)
         else:
             battery = battery if battery is not None else BatteryBank()
@@ -191,6 +207,7 @@ class Simulation:
             load_generator=generator,
             diurnal_load=diurnal_load,
             seed=seed,
+            strict=strict,
         )
         sim._pretrain(pattern)
         return sim
@@ -288,17 +305,33 @@ class Simulation:
         """
         if len(self.log) >= self.clock.n_epochs:
             raise ConfigurationError("simulation already complete")
+        if self.auditor is None:
+            self.auditor = InvariantAuditor(strict=self.strict)
         with _EPOCH_SECONDS_HIST.time():
             t = self.clock.start_s + len(self.log) * self.clock.epoch_s
             if self.faults is not None:
                 self.faults.apply(self.controller, t)
             self._apply_schedule(t)
+            # Captured after fault injection so the audit's SoC delta
+            # reflects only the epoch's own flows.
+            soc_before = self.controller.pdu.battery.soc_wh
             load = self.load_generator.at(t)
             if self.shift is not None:
                 record = self.shift.execute_epoch(
                     self.controller, t, load_fraction=load.fraction
                 )
+                gating_active = self.shift.activated
             else:
                 record = self.controller.run_epoch(t, load_fraction=load.fraction)
+                gating_active = False
             self.log.append(record)
+            self.auditor.audit(
+                AuditContext(
+                    record=record,
+                    controller=self.controller,
+                    epoch_s=self.clock.epoch_s,
+                    soc_before_wh=soc_before,
+                    gating_active=gating_active,
+                )
+            )
         return record

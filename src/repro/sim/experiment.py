@@ -98,6 +98,10 @@ class ExperimentConfig:
     #: :func:`repro.sim.faults.parse_fault_spec`); every policy run gets
     #: its own injector built from these, applied at epoch boundaries.
     faults: tuple[str, ...] = ()
+    #: Run every policy under the strict invariant audit (any violation
+    #: raises :class:`~repro.errors.InvariantViolation`; the ``--strict``
+    #: CLI flag).  Violations are counted even when False.
+    strict: bool = False
 
     #: The supply-fraction cycle (of the rack *hardware envelope*) the
     #: Fig. 9/10/13/14 comparisons sweep: the insufficient-supply range

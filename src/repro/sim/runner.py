@@ -58,6 +58,7 @@ def _run_policy(
         trace=trace,
         supply_fractions=config.supply_fractions,
         budget_reference_w=config.budget_reference_w,
+        strict=config.strict,
     )
     if config.faults:
         # Fresh injector per policy run: the injector captures each

@@ -1,0 +1,195 @@
+"""Differential checking of the PAR solver's three mechanisms.
+
+The solver combines an analytic KKT enumeration, a dense grid sweep, and
+an SLSQP polish, and normally reports only the arbitrated winner — so a
+bug in one mechanism hides behind the others.  This module solves seeded
+randomized programs with each mechanism *forced*
+(:meth:`~repro.core.solver.PARSolver.solve_via`) and cross-checks them:
+
+* every returned solution must be feasible (budget and per-server box);
+* the grid sweep may never beat the exact KKT enumeration (the programs
+  are strictly concave quadratics, for which KKT is provably optimal);
+* SLSQP must agree with KKT to :data:`SLSQP_REL_TOL`;
+* the grid may lag KKT by at most :data:`GRID_REL_SLACK` (its step is
+  coarse, but a larger gap means a mechanism is broken).
+
+Cases are generated from a deterministic seed, so the corpus doubles as
+a regression suite: a failure reproduces bit-identically from its case
+seed.  Budgets are floored well above the subset's power-on cliff —
+right at the cliff the coarse grid legitimately loses whole groups,
+which would drown real failures in step-size noise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.database import FitKind, PerfPowerFit
+from repro.core.solver import FEASIBILITY_SLACK_W, GroupModel, PARSolver
+
+#: Required relative agreement between the SLSQP path and exact KKT.
+SLSQP_REL_TOL = 1e-3
+
+#: The coarse grid sweep may lag the exact optimum by at most this
+#: fraction (empirical over the deterministic corpus; generous because
+#: 3-group racks sweep at the coarse granularity).
+GRID_REL_SLACK = 0.25
+
+#: Tight tolerance for "grid must not beat exact KKT" (pure float slack).
+EXACT_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class CaseOutcome:
+    """One differential case: the program, the per-method scores, and
+    any cross-check failures (empty means the case passed)."""
+
+    case_seed: int
+    n_groups: int
+    budget_w: float
+    perf: tuple[tuple[str, float], ...]
+    failures: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass(frozen=True)
+class DifferentialReport:
+    """Corpus-level result of :func:`run_differential`."""
+
+    n_cases: int
+    seed: int
+    failures: tuple[CaseOutcome, ...]
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        if self.passed:
+            return f"differential: {self.n_cases} cases, all mechanisms agree"
+        lines = [
+            f"differential: {len(self.failures)}/{self.n_cases} cases FAILED"
+        ]
+        for outcome in self.failures[:10]:
+            lines.append(
+                f"  case seed={outcome.case_seed} "
+                f"(k={outcome.n_groups}, budget={outcome.budget_w:.1f} W): "
+                + "; ".join(outcome.failures)
+            )
+        if len(self.failures) > 10:
+            lines.append(f"  ... and {len(self.failures) - 10} more")
+        return "\n".join(lines)
+
+
+def random_case(
+    rng: random.Random, safety_margin: float = 0.05
+) -> tuple[tuple[GroupModel, ...], float]:
+    """One seeded random PAR program with a strictly concave objective.
+
+    Each group gets a concave increasing quadratic (vertex at or beyond
+    the plateau, positive performance at the power-on point), so the KKT
+    enumeration is provably exact and every cross-mechanism disagreement
+    indicts a mechanism, not the program.  The budget is floored at 1.4x
+    the all-groups power-on total to stay clear of the cliffs where the
+    coarse grid legitimately drops groups.
+    """
+    k = rng.randint(1, 3)
+    groups = []
+    for i in range(k):
+        count = rng.randint(1, 6)
+        min_p = rng.uniform(40.0, 120.0)
+        max_p = min_p * rng.uniform(1.5, 3.0)
+        l = -rng.uniform(0.01, 0.5)
+        vertex = max_p * rng.uniform(1.0, 1.5)
+        m = -2.0 * l * vertex
+        perf_at_min = rng.uniform(10.0, 100.0)
+        n = perf_at_min - (l * min_p**2 + m * min_p)
+        fit = PerfPowerFit(
+            coefficients=(l, m, n),
+            min_power_w=min_p,
+            max_power_w=max_p,
+            kind=FitKind.QUADRATIC,
+        )
+        groups.append(GroupModel(name=f"g{i}", count=count, fit=fit))
+    power_on_total = sum(
+        g.count * g.fit.min_power_w * (1.0 + safety_margin) for g in groups
+    )
+    budget = power_on_total * rng.uniform(1.4, 3.0)
+    return tuple(groups), budget
+
+
+def check_case(
+    solver: PARSolver,
+    groups: tuple[GroupModel, ...],
+    budget_w: float,
+    case_seed: int,
+) -> CaseOutcome:
+    """Solve one program three ways and cross-check the results."""
+    solutions = {
+        method: solver.solve_via(groups, budget_w, method)
+        for method in PARSolver.METHODS
+    }
+    failures: list[str] = []
+
+    for method, sol in solutions.items():
+        total = sum(g.count * p for g, p in zip(groups, sol.per_server_w))
+        if total > budget_w + FEASIBILITY_SLACK_W:
+            failures.append(
+                f"{method}: infeasible, allocates {total:.6f} W "
+                f"over budget {budget_w:.6f} W"
+            )
+        for g, p in zip(groups, sol.per_server_w):
+            if p > 0 and p > g.fit.max_power_w + 1e-9:
+                failures.append(
+                    f"{method}: group {g.name} allocated {p:.6f} W above "
+                    f"its plateau {g.fit.max_power_w:.6f} W"
+                )
+
+    kkt = solutions["kkt"].expected_perf
+    grid = solutions["grid"].expected_perf
+    slsqp = solutions["slsqp"].expected_perf
+
+    # For strictly concave quadratics KKT is exact — nothing may beat it.
+    ceiling = kkt * (1.0 + EXACT_REL_TOL) + 1e-6
+    if grid > ceiling:
+        failures.append(
+            f"grid ({grid:.9f}) beats the exact KKT optimum ({kkt:.9f})"
+        )
+    if abs(slsqp - kkt) > SLSQP_REL_TOL * max(abs(kkt), 1.0):
+        failures.append(
+            f"slsqp ({slsqp:.9f}) disagrees with KKT ({kkt:.9f}) "
+            f"beyond rel tol {SLSQP_REL_TOL}"
+        )
+    if grid < (1.0 - GRID_REL_SLACK) * kkt:
+        failures.append(
+            f"grid ({grid:.9f}) lags KKT ({kkt:.9f}) by more than "
+            f"{GRID_REL_SLACK:.0%}"
+        )
+
+    return CaseOutcome(
+        case_seed=case_seed,
+        n_groups=len(groups),
+        budget_w=budget_w,
+        perf=tuple((m, solutions[m].expected_perf) for m in PARSolver.METHODS),
+        failures=tuple(failures),
+    )
+
+
+def run_differential(n_cases: int = 200, seed: int = 0) -> DifferentialReport:
+    """Run the seeded corpus; deterministic for a given (n_cases, seed)."""
+    solver = PARSolver(cache_size=0)
+    failures: list[CaseOutcome] = []
+    for i in range(n_cases):
+        case_seed = seed * 1_000_003 + i
+        rng = random.Random(case_seed)
+        groups, budget_w = random_case(rng, safety_margin=solver.safety_margin)
+        outcome = check_case(solver, groups, budget_w, case_seed)
+        if not outcome.ok:
+            failures.append(outcome)
+    return DifferentialReport(
+        n_cases=n_cases, seed=seed, failures=tuple(failures)
+    )

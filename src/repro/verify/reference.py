@@ -1,0 +1,91 @@
+"""Strict-mode reference simulations for the verify CLI and CI smoke.
+
+Runs the paper's standard stack end-to-end with the invariant auditor in
+strict mode — once with the default grid-backed supply and once in the
+constrained-supply (``supply_fractions``) regime — and reports the
+audit roll-up.  A violation-free pass is the acceptance gate for the
+physics accounting; any strict-mode raise propagates to the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.policies import make_policy
+from repro.servers.rack import Rack
+from repro.sim.clock import SimClock
+from repro.sim.engine import Simulation
+from repro.traces.nrel import Weather
+from repro.units import EPOCH_SECONDS
+
+#: The two supply regimes the acceptance criteria name.
+REFERENCE_MODES = ("default", "supply_fractions")
+
+#: Fractions cycled by the constrained-supply reference (a deep, a
+#: moderate, and an unconstrained epoch, like the Fig. 9/10 sweeps).
+REFERENCE_FRACTIONS = (0.4, 0.7, 1.0)
+
+
+@dataclass(frozen=True)
+class ReferenceResult:
+    """Outcome of one strict reference simulation."""
+
+    mode: str
+    policy: str
+    n_epochs: int
+    audit: dict[str, Any]
+
+    @property
+    def passed(self) -> bool:
+        return self.audit["violations"] == 0
+
+    def summary(self) -> str:
+        status = "clean" if self.passed else "VIOLATIONS"
+        return (
+            f"reference[{self.mode}]: {self.n_epochs} epochs under "
+            f"{self.policy} --strict, {status} "
+            f"({self.audit['violations']} violations)"
+        )
+
+
+def run_strict_reference(
+    n_epochs: int = 16,
+    policy: str = "GreenHetero",
+    weather: Weather = Weather.HIGH,
+    seed: int = 2021,
+) -> list[ReferenceResult]:
+    """Run both reference modes to completion under ``strict=True``.
+
+    Raises
+    ------
+    InvariantViolation
+        As soon as any epoch of either mode breaks an invariant (strict
+        mode does not collect-and-continue).
+    """
+    clock = SimClock(duration_s=n_epochs * EPOCH_SECONDS)
+    results = []
+    for mode in REFERENCE_MODES:
+        kwargs: dict[str, Any] = {}
+        if mode == "supply_fractions":
+            kwargs["supply_fractions"] = REFERENCE_FRACTIONS
+        sim = Simulation.assemble(
+            policy=make_policy(policy),
+            rack=Rack([("E5-2620", 5), ("i5-4460", 5)], "SPECjbb"),
+            weather=weather,
+            clock=clock,
+            seed=seed,
+            strict=True,
+            **kwargs,
+        )
+        sim.run()
+        assert sim.auditor is not None
+        results.append(
+            ReferenceResult(
+                mode=mode,
+                policy=policy,
+                n_epochs=len(sim.log),
+                audit=sim.auditor.summary(),
+            )
+        )
+    return results

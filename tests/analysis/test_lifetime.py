@@ -77,3 +77,11 @@ class TestEndToEnd:
         # Paper: "relatively very small impact on the lifetime".
         assert projection.projected_years > 1.0
         assert projection.cycles_per_day < 3.0
+
+
+class TestUnlimitedSupplyExclusion:
+    def test_sentinel_has_no_lifetime(self):
+        from repro.power.battery import UnlimitedSupply
+
+        with pytest.raises(ConfigurationError):
+            project_lifetime(UnlimitedSupply(), observed_days=1.0)

@@ -261,7 +261,7 @@ class TestMemoization:
         assert info["size"] == 1
         solver.clear_cache()
         assert solver.cache_info() == {
-            "hits": 0, "misses": 0, "size": 0, "hit_rate": 0.0,
+            "hits": 0, "misses": 0, "stale_hits": 0, "size": 0, "hit_rate": 0.0,
         }
 
     def test_fifo_eviction_bounds_the_cache(self):
@@ -299,3 +299,101 @@ class TestMemoization:
         assert second is first
         assert solver.cache_hits == 1
         assert first.powered_counts is not None
+
+
+class TestStaleCacheHits:
+    """Quantized budget keys may collide across distinct budgets; a hit
+    must be revalidated against the *exact* budget before being replayed
+    (the cache-infeasibility fix)."""
+
+    class CoarseSolver(PARSolver):
+        # Widen the quantum so budgets 740 W and 660 W share a key
+        # (round(b / 100) == 7 for both) and the collision is testable.
+        CACHE_BUDGET_QUANTUM_W = 100.0
+
+    def groups(self):
+        return [concave_group("A", 5, lo=95.0, hi=150.0)]
+
+    def test_stale_hit_is_revalidated_and_resolved(self):
+        solver = self.CoarseSolver(safety_margin=0.0)
+        big = solver.solve(self.groups(), 740.0)
+        assert sum(5 * p for p in big.per_server_w) > 660.0
+
+        second = solver.solve(self.groups(), 660.0)
+        total = sum(5 * p for p in second.per_server_w)
+        assert total <= 660.0 + 1e-6  # feasible for the *new* budget
+        assert solver.cache_stale_hits == 1
+        assert solver.cache_hits == 0
+        assert solver.cache_info()["stale_hits"] == 1
+
+    def test_stale_entry_is_overwritten(self):
+        solver = self.CoarseSolver(safety_margin=0.0)
+        solver.solve(self.groups(), 740.0)
+        second = solver.solve(self.groups(), 660.0)
+        third = solver.solve(self.groups(), 660.0)
+        assert third is second  # the re-solve replaced the entry
+        assert solver.cache_hits == 1
+        assert solver.cache_stale_hits == 1
+
+    def test_reintroduced_bug_yields_an_overdraw_the_check_catches(self):
+        # Re-introduce the pre-fix behavior (trust any key collision)
+        # and show (a) it replays an over-budget allocation and (b) the
+        # real feasibility check flags exactly that allocation.
+        class BuggySolver(self.CoarseSolver):
+            @staticmethod
+            def _feasible_for(solution, groups, total_power_w):
+                return True
+
+        solver = BuggySolver(safety_margin=0.0)
+        groups = self.groups()
+        solver.solve(groups, 740.0)
+        stale = solver.solve(groups, 660.0)
+        total = sum(5 * p for p in stale.per_server_w)
+        assert total > 660.0 + 1.0  # the bug: budget silently violated
+        assert not PARSolver._feasible_for(stale, groups, 660.0)
+        assert PARSolver._feasible_for(stale, groups, 740.0)
+
+
+class TestSolveVia:
+    def groups(self):
+        return [
+            concave_group("A", 5),
+            concave_group("B", 5, t_max=50.0, lo=50.0, hi=80.0),
+        ]
+
+    def test_unknown_method_rejected(self, solver):
+        with pytest.raises(SolverError):
+            solver.solve_via(self.groups(), 900.0, "annealing")
+
+    def test_methods_agree_on_a_simple_program(self, solver):
+        sols = {
+            m: solver.solve_via(self.groups(), 900.0, m)
+            for m in PARSolver.METHODS
+        }
+        kkt = sols["kkt"].expected_perf
+        assert sols["slsqp"].expected_perf == pytest.approx(kkt, rel=1e-3)
+        assert sols["grid"].expected_perf <= kkt + 1e-6
+        assert sols["grid"].expected_perf >= 0.75 * kkt
+
+    def test_zero_budget_is_the_zero_solution(self, solver):
+        for method in PARSolver.METHODS:
+            sol = solver.solve_via(self.groups(), 0.0, method)
+            assert sol.expected_perf == 0.0
+            assert set(sol.per_server_w) == {0.0}
+
+    def test_method_is_recorded(self, solver):
+        for method in PARSolver.METHODS:
+            sol = solver.solve_via(self.groups(), 900.0, method)
+            assert sol.method == method
+
+    def test_forced_methods_never_overdraw(self, solver):
+        from repro.core.solver import FEASIBILITY_SLACK_W
+
+        groups = self.groups()
+        for budget in (500.0, 800.0, 1100.0, 2000.0):
+            for method in PARSolver.METHODS:
+                sol = solver.solve_via(groups, budget, method)
+                total = sum(
+                    g.count * p for g, p in zip(groups, sol.per_server_w)
+                )
+                assert total <= budget + FEASIBILITY_SLACK_W

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import BatteryError
-from repro.power.battery import BatteryBank
+from repro.power.battery import BatteryBank, UnlimitedSupply
 
 
 @pytest.fixture
@@ -123,8 +123,14 @@ class TestValidation:
         with pytest.raises(BatteryError):
             BatteryBank(initial_soc_fraction=1.2)
 
-    def test_initial_soc_clamped_to_floor(self):
-        bank = BatteryBank(initial_soc_fraction=0.0)
+    def test_initial_soc_below_floor_rejected(self):
+        # A bank can never *reach* a SoC below the DoD floor, so starting
+        # there is a configuration error, not something to silently clamp.
+        with pytest.raises(BatteryError):
+            BatteryBank(initial_soc_fraction=0.0)
+
+    def test_initial_soc_at_floor_accepted(self):
+        bank = BatteryBank(initial_soc_fraction=0.6, depth_of_discharge=0.4)
         assert bank.soc_wh == pytest.approx(bank.floor_wh)
 
     def test_bad_rate(self):
@@ -172,3 +178,43 @@ class TestPeukert:
     def test_exponent_below_one_rejected(self):
         with pytest.raises(BatteryError):
             BatteryBank(peukert_exponent=0.9)
+
+
+class TestUnlimitedSupply:
+    def test_is_flagged(self):
+        assert UnlimitedSupply().is_unlimited is True
+        assert BatteryBank().is_unlimited is False
+
+    def test_discharge_delivers_without_state_change(self):
+        supply = UnlimitedSupply()
+        soc = supply.soc_wh
+        for _ in range(100):
+            assert supply.discharge(5000.0, 3600.0) == 5000.0
+        assert supply.soc_wh == soc
+        assert supply.equivalent_cycles == 0.0
+        assert supply._discharged_wh_total == 0.0
+
+    def test_discharge_caps_at_the_power_limit(self):
+        supply = UnlimitedSupply(power_limit_w=300.0)
+        assert supply.discharge(5000.0, 900.0) == 300.0
+        assert supply.max_discharge_power_w(900.0) == 300.0
+
+    def test_reports_full_and_refuses_charge(self):
+        supply = UnlimitedSupply()
+        assert supply.charge(1000.0, 3600.0) == 0.0
+        assert supply.max_charge_power_w(3600.0) == 0.0
+        assert supply.soc_wh == supply.capacity_wh
+
+    def test_bad_arguments_still_rejected(self):
+        supply = UnlimitedSupply()
+        with pytest.raises(BatteryError):
+            supply.discharge(-1.0, 3600.0)
+        with pytest.raises(BatteryError):
+            supply.discharge(100.0, 0.0)
+        with pytest.raises(BatteryError):
+            supply.charge(-1.0, 3600.0)
+        with pytest.raises(BatteryError):
+            UnlimitedSupply(power_limit_w=0.0)
+
+    def test_repr_names_the_sentinel(self):
+        assert "UnlimitedSupply" in repr(UnlimitedSupply())

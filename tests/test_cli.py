@@ -169,3 +169,39 @@ class TestServeCommands:
         # not a traceback.
         code = main(["loadgen", "--port", "1", "--requests", "1"])
         assert code == 2
+
+
+class TestVerify:
+    def test_verify_passes(self, capsys):
+        code = main(
+            ["verify", "--cases", "5", "--fuzz-cases", "2", "--epochs", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verify: PASS" in out
+        assert "reference[default]" in out
+        assert "reference[supply_fractions]" in out
+        assert "differential" in out
+        assert "fuzz" in out
+
+    def test_verify_args_parse(self):
+        args = build_parser().parse_args(
+            ["verify", "--cases", "10", "--fuzz-cases", "3", "--seed", "9"]
+        )
+        assert args.cases == 10
+        assert args.fuzz_cases == 3
+        assert args.seed == 9
+        assert args.func.__name__ == "cmd_verify"
+
+    def test_run_accepts_strict(self, capsys):
+        code = main(
+            [
+                "run", "--days", "0.125",
+                "--policies", "GreenHetero", "--strict",
+            ]
+        )
+        assert code == 0
+
+    def test_sweep_accepts_strict(self):
+        args = build_parser().parse_args(["sweep", "--strict"])
+        assert args.strict is True

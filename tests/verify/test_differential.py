@@ -1,0 +1,86 @@
+"""The differential solver corpus: the regression gate for the solver."""
+
+import random
+
+import pytest
+
+from repro.core.solver import FEASIBILITY_SLACK_W, PARSolver
+from repro.verify import run_differential
+from repro.verify.differential import check_case, random_case
+
+
+class TestCorpus:
+    def test_regression_corpus_passes(self):
+        # The acceptance-criteria corpus: 200 deterministic seeded cases.
+        report = run_differential(n_cases=200, seed=0)
+        assert report.passed, report.summary()
+        assert report.n_cases == 200
+
+    def test_corpus_is_deterministic(self):
+        a = run_differential(n_cases=5, seed=3)
+        b = run_differential(n_cases=5, seed=3)
+        assert a == b
+
+    def test_alternate_seed_also_clean(self):
+        report = run_differential(n_cases=25, seed=99)
+        assert report.passed, report.summary()
+
+
+class TestCaseGeneration:
+    def test_random_case_budget_clears_power_on(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            groups, budget = random_case(rng)
+            power_on = sum(
+                g.count * g.fit.min_power_w * 1.05 for g in groups
+            )
+            assert budget >= 1.4 * power_on - 1e-9
+
+    def test_concavity_of_generated_fits(self):
+        rng = random.Random(12)
+        for _ in range(20):
+            groups, _ = random_case(rng)
+            for g in groups:
+                l, m, _ = g.fit.coefficients
+                assert l < 0  # strictly concave
+                vertex = -m / (2.0 * l)
+                assert vertex >= g.fit.max_power_w - 1e-9  # increasing
+
+
+class TestCheckCase:
+    def test_detects_an_infeasible_mechanism(self):
+        import dataclasses
+
+        rng = random.Random(21)
+        groups, budget = random_case(rng)
+
+        class OverdrawingSolver(PARSolver):
+            def solve_via(self, groups, total_power_w, method):
+                # A broken mechanism: hands out twice what it solved for.
+                sol = super().solve_via(groups, total_power_w, method)
+                return dataclasses.replace(
+                    sol,
+                    per_server_w=tuple(2.0 * p for p in sol.per_server_w),
+                )
+
+        outcome = check_case(
+            OverdrawingSolver(cache_size=0), groups, budget, case_seed=21
+        )
+        assert not outcome.ok
+        assert any(
+            "infeasible" in f or "plateau" in f for f in outcome.failures
+        )
+
+    def test_solutions_stay_within_budget(self):
+        solver = PARSolver(cache_size=0)
+        rng = random.Random(31)
+        for i in range(10):
+            groups, budget = random_case(
+                rng, safety_margin=solver.safety_margin
+            )
+            for method in PARSolver.METHODS:
+                sol = solver.solve_via(groups, budget, method)
+                total = sum(
+                    g.count * p for g, p in zip(groups, sol.per_server_w)
+                )
+                assert total <= budget + FEASIBILITY_SLACK_W

@@ -1,0 +1,14 @@
+"""Checkpoint round-trip fuzzing for serve/shift state."""
+
+from repro.verify import fuzz_round_trips
+
+
+class TestFuzz:
+    def test_round_trips_are_fixed_points(self):
+        report = fuzz_round_trips(n_cases=20, seed=1)
+        assert report.passed, report.summary()
+
+    def test_deterministic_for_a_seed(self):
+        a = fuzz_round_trips(n_cases=5, seed=4)
+        b = fuzz_round_trips(n_cases=5, seed=4)
+        assert a == b

@@ -1,0 +1,29 @@
+"""Strict-mode reference simulations: the end-to-end acceptance gate."""
+
+import pytest
+
+from repro.verify import run_strict_reference
+from repro.verify.reference import REFERENCE_MODES
+
+
+class TestStrictReference:
+    def test_both_supply_regimes_run_clean(self):
+        results = run_strict_reference(n_epochs=8, seed=2021)
+        assert [r.mode for r in results] == list(REFERENCE_MODES)
+        for result in results:
+            assert result.passed, result.summary()
+            assert result.n_epochs == 8
+            assert result.audit["epochs_audited"] == 8
+
+    def test_low_trace_also_clean(self):
+        from repro.traces.nrel import Weather
+
+        results = run_strict_reference(
+            n_epochs=6, weather=Weather.LOW, seed=5
+        )
+        assert all(r.passed for r in results)
+
+    def test_summary_mentions_strictness(self):
+        (result, _) = run_strict_reference(n_epochs=2, seed=1)
+        assert "--strict" in result.summary()
+        assert "clean" in result.summary()
